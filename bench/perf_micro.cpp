@@ -1,0 +1,88 @@
+// E10 — google-benchmark microbenchmarks of the library's hot paths:
+// leakage solving, characterization, Elmore evaluation, arbiters and
+// the cycle-accurate simulator kernel.
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/leakage.hpp"
+#include "circuit/rctree.hpp"
+#include "core/experiments.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/sim.hpp"
+#include "xbar/characterize.hpp"
+
+using namespace lain;
+
+static void BM_LeakageSolveFlatSlice(benchmark::State& state) {
+  const xbar::CrossbarSpec spec = xbar::table1_spec();
+  const xbar::OutputSlice slice =
+      xbar::build_output_slice(spec, xbar::Scheme::kDPC);
+  const tech::DeviceModel model(tech::itrs_node(spec.node), spec.temp_k);
+  const circuit::LeakageSolver solver(slice.nl, model);
+  circuit::NodeVoltages nv(slice.nl, model.vdd_v());
+  const auto& cell = slice.cells.front();
+  for (std::size_t k = 0; k < cell.grants.size(); ++k) {
+    nv.set_logic(cell.grants[k], k == 0);
+    nv.set_logic(cell.inputs[k], true);
+  }
+  nv.set_logic(cell.node_a, true);
+  nv.set_logic(cell.node_b, false);
+  nv.set_logic(cell.out, true);
+  nv.set_logic(slice.sleep_signals.front(), false);
+  nv.set_logic(slice.precharge_signal, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(nv).total_w());
+  }
+}
+BENCHMARK(BM_LeakageSolveFlatSlice);
+
+static void BM_CharacterizeScheme(benchmark::State& state) {
+  const auto scheme = static_cast<xbar::Scheme>(state.range(0));
+  const xbar::CrossbarSpec spec = xbar::table1_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xbar::characterize(spec, scheme));
+  }
+}
+BENCHMARK(BM_CharacterizeScheme)->DenseRange(0, 4);
+
+static void BM_ElmoreWire(benchmark::State& state) {
+  const auto& node = tech::itrs_node(tech::Node::k45nm);
+  const tech::WireRC rc = tech::wire_rc(node, tech::WireTier::kIntermediate);
+  circuit::RCTree t;
+  const int end = t.add_wire(0, rc, 179.2e-6, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.elmore_delay_s(end, 300.0));
+  }
+}
+BENCHMARK(BM_ElmoreWire)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_MatrixArbiter(benchmark::State& state) {
+  noc::MatrixArbiter arb(static_cast<int>(state.range(0)));
+  std::vector<bool> req(static_cast<size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arb.arbitrate(req));
+  }
+}
+BENCHMARK(BM_MatrixArbiter)->Arg(5)->Arg(16);
+
+static void BM_SimCyclesPerSecond(benchmark::State& state) {
+  noc::SimConfig cfg = core::default_mesh_config(
+      0.15, noc::TrafficPattern::kUniform);
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1;
+  noc::Simulation sim(cfg);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.num_nodes()));
+}
+BENCHMARK(BM_SimCyclesPerSecond);
+
+static void BM_PoweredNocRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_powered_noc(
+        xbar::Scheme::kSDPC, 0.1, noc::TrafficPattern::kUniform));
+  }
+}
+BENCHMARK(BM_PoweredNocRun)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,52 @@
+// E7 — static-probability sweep (Table 1 footnote: "The power
+// consumptions are obtained by assuming 50% static probability which
+// is the worst case for power").  Sweeps P[data=1] from 0.1 to 0.9 and
+// reports total power per scheme: the precharged schemes' worst case
+// sits at low p (many discharges), and they win big when traffic is
+// 1-polarized — the conclusion's "systems which have major data
+// transfers within the same polarity".
+
+#include <cstdio>
+
+#include "tech/units.hpp"
+#include "xbar/characterize.hpp"
+
+using namespace lain;
+using namespace lain::xbar;
+
+int main() {
+  std::printf("E7: total power (mW) vs static probability p = P[bit = 1]\n\n");
+  std::printf("%-6s", "p");
+  for (Scheme s : all_schemes()) std::printf("%10s", scheme_name(s).data());
+  std::printf("\n");
+
+  for (double p = 0.1; p <= 0.91; p += 0.1) {
+    std::printf("%-6.1f", p);
+    for (Scheme s : all_schemes()) {
+      CrossbarSpec spec = table1_spec();
+      spec.static_probability = p;
+      const Characterization c = characterize(spec, s);
+      std::printf("%10.2f", to_mW(c.total_power_w));
+    }
+    std::printf("\n");
+  }
+
+  // Verify the footnote: p=0.5 is the worst case for the random-data
+  // (non-precharged) schemes; precharged schemes are worst at low p.
+  std::printf("\nWorst-case check:\n");
+  for (Scheme s : all_schemes()) {
+    double worst_p = 0.0, worst = 0.0;
+    for (double p = 0.05; p <= 0.96; p += 0.05) {
+      CrossbarSpec spec = table1_spec();
+      spec.static_probability = p;
+      const double w = characterize(spec, s).total_power_w;
+      if (w > worst) {
+        worst = w;
+        worst_p = p;
+      }
+    }
+    std::printf("  %-5s worst case at p = %.2f (%.2f mW)\n",
+                scheme_name(s).data(), worst_p, to_mW(worst));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// crossbar_designer — using the library as a design-space tool: sweep
+// flit width, port count and temperature; for each point report which
+// scheme minimizes total power subject to a delay-penalty budget,
+// i.e. the decision a router designer adopting the paper would make.
+
+#include <cstdio>
+
+#include "core/leakage_aware.hpp"
+
+using namespace lain;
+using namespace lain::xbar;
+
+namespace {
+
+Scheme pick_best(const CrossbarSpec& spec, double max_penalty,
+                 double* best_power) {
+  const Characterization base = characterize(spec, Scheme::kSC);
+  Scheme best = Scheme::kSC;
+  *best_power = base.total_power_w;
+  for (Scheme s : all_schemes()) {
+    const Characterization c = characterize(spec, s);
+    if (delay_penalty(base, c) > max_penalty) continue;
+    if (c.total_power_w < *best_power) {
+      *best_power = c.total_power_w;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Crossbar design-space exploration: best scheme by total "
+              "power under a delay-penalty budget\n\n");
+
+  for (double budget : {0.0, 0.05, 0.50}) {
+    std::printf("--- delay penalty budget: %.0f%% ---\n", budget * 100.0);
+    std::printf("%-8s %-8s %-8s %-14s %-12s\n", "bits", "ports", "temp C",
+                "best scheme", "power (mW)");
+    for (int bits : {64, 128, 256}) {
+      for (int ports : {5, 7}) {
+        for (double temp_c : {70.0, 110.0}) {
+          CrossbarSpec spec = table1_spec();
+          spec.flit_bits = bits;
+          spec.ports = ports;
+          spec.temp_k = temp_c + 273.0;
+          double power = 0.0;
+          const Scheme best = pick_best(spec, budget, &power);
+          std::printf("%-8d %-8d %-8.0f %-14s %-12.2f\n", bits, ports, temp_c,
+                      scheme_name(best).data(), to_mW(power));
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("With a zero-penalty budget the designer lands on DPC "
+              "(precharged, no segmentation);\nallowing a few %% of delay "
+              "unlocks the segmented schemes' larger savings.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// mesh_power_sweep — the workload the paper's introduction motivates:
+// an on-chip network whose interconnect burns a significant share of
+// the power budget.  Sweeps injection rate on a 5x5 mesh and compares
+// the SC baseline against the best feedback (SDFC) and best precharged
+// (SDPC) schemes, splitting network vs crossbar power.
+
+#include <cstdio>
+
+#include "core/leakage_aware.hpp"
+
+using namespace lain;
+using namespace lain::core;
+
+int main() {
+  std::printf("Network power on a 5x5 mesh (uniform traffic, 4-flit "
+              "packets, Minimum-Idle-Time gating)\n\n");
+  std::printf("%-6s %-6s %10s %12s %12s %10s\n", "scheme", "rate",
+              "latency", "network mW", "xbar mW", "stby %");
+
+  for (xbar::Scheme s :
+       {xbar::Scheme::kSC, xbar::Scheme::kSDFC, xbar::Scheme::kSDPC}) {
+    for (double rate = 0.05; rate <= 0.351; rate += 0.10) {
+      const NocRunResult r =
+          run_powered_noc(s, rate, noc::TrafficPattern::kUniform);
+      std::printf("%-6s %-6.2f %10.2f %12.2f %12.2f %10.1f%s\n",
+                  scheme_name(s).data(), rate, r.avg_packet_latency_cycles,
+                  to_mW(r.network_power_w), to_mW(r.crossbar_power_w),
+                  100.0 * r.standby_fraction, r.saturated ? " [sat]" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Reading: at low load the crossbars idle most of the time, "
+              "so the precharged schemes'\ndeep standby (min idle 1) "
+              "converts nearly all of it into leakage savings; at high "
+              "load the\ndual-Vt active-leakage cut is what remains.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "circuit/delay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lain::circuit {
+
+double stage_delay_s(const Stage& s) {
+  if (s.rdrv_ohm < 0.0) throw std::invalid_argument("negative driver R");
+  if (s.contention < 1.0) throw std::invalid_argument("contention must be >= 1");
+  if (s.swing <= 0.0) throw std::invalid_argument("swing derating must be > 0");
+  double base;
+  if (s.tree != nullptr) {
+    base = s.tree->elmore_delay_s(s.tree_target, s.rdrv_ohm);
+  } else {
+    base = std::log(2.0) * s.rdrv_ohm * s.cload_f;
+  }
+  return base * s.contention * s.swing;
+}
+
+double path_delay_s(const std::vector<Stage>& stages) {
+  double t = 0.0;
+  for (const Stage& s : stages) t += stage_delay_s(s);
+  return t;
+}
+
+}  // namespace lain::circuit

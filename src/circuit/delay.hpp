@@ -1,0 +1,35 @@
+// delay.hpp — switch-level path delay.
+//
+// A signal path through the crossbar is a sequence of *stages*; each
+// stage is a driver (effective resistance) discharging/charging an RC
+// load (lumped cap or an RC tree), optionally fighting a keeper and/or
+// switching with a degraded input swing.  Total path delay is the sum
+// of per-stage 50 % delays — the standard switch-level approximation
+// the characterization uses for the Table 1 delay rows.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/rctree.hpp"
+
+namespace lain::circuit {
+
+struct Stage {
+  const char* name = "";
+  double rdrv_ohm = 0.0;       // driver effective resistance
+  double cload_f = 0.0;        // lumped load (used when tree == nullptr)
+  const RCTree* tree = nullptr;  // distributed load (overrides cload_f)
+  int tree_target = 0;         // measurement node within the tree
+  double contention = 1.0;     // keeper-fight slowdown (>= 1)
+  double swing = 1.0;          // input-swing derating (>= 1: slower)
+};
+
+// 50 % delay of one stage.
+double stage_delay_s(const Stage& s);
+
+// Sum of stage delays along a path.
+double path_delay_s(const std::vector<Stage>& stages);
+
+}  // namespace lain::circuit

@@ -1,0 +1,80 @@
+#include "circuit/netlist.hpp"
+
+#include <stdexcept>
+
+namespace lain::circuit {
+
+Netlist::Netlist() {
+  gnd_ = add_node("GND", NodeKind::kGround);
+  vdd_ = add_node("VDD", NodeKind::kSupply);
+}
+
+NodeId Netlist::add_node(std::string name, NodeKind kind) {
+  nodes_.push_back(Node{std::move(name), kind});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+DeviceId Netlist::add_device(std::string name, const tech::Mosfet& mos,
+                             DeviceRole role, NodeId gate, NodeId drain,
+                             NodeId source) {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (gate < 0 || gate >= n || drain < 0 || drain >= n || source < 0 ||
+      source >= n) {
+    throw std::out_of_range("device terminal refers to unknown node");
+  }
+  if (mos.width_m <= 0.0) {
+    throw std::invalid_argument("device width must be positive: " + name);
+  }
+  devices_.push_back(Device{std::move(name), mos, role, gate, drain, source});
+  return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+NodeId Netlist::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kNoNode;
+}
+
+DeviceId Netlist::find_device(std::string_view name) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].name == name) return static_cast<DeviceId>(i);
+  }
+  return -1;
+}
+
+std::size_t Netlist::count_devices(DeviceRole role) const {
+  std::size_t c = 0;
+  for (const Device& d : devices_) c += (d.role == role) ? 1 : 0;
+  return c;
+}
+
+std::size_t Netlist::count_devices(tech::VtClass vt) const {
+  std::size_t c = 0;
+  for (const Device& d : devices_) c += (d.mos.vt == vt) ? 1 : 0;
+  return c;
+}
+
+std::size_t Netlist::count_devices(DeviceRole role, tech::VtClass vt) const {
+  std::size_t c = 0;
+  for (const Device& d : devices_) {
+    c += (d.role == role && d.mos.vt == vt) ? 1 : 0;
+  }
+  return c;
+}
+
+double Netlist::total_width_m() const {
+  double w = 0.0;
+  for (const Device& d : devices_) w += d.mos.width_m;
+  return w;
+}
+
+double Netlist::total_width_m(tech::VtClass vt) const {
+  double w = 0.0;
+  for (const Device& d : devices_) {
+    if (d.mos.vt == vt) w += d.mos.width_m;
+  }
+  return w;
+}
+
+}  // namespace lain::circuit

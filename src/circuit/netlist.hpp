@@ -1,0 +1,103 @@
+// netlist.hpp — structural circuit representation.
+//
+// The crossbar schemes (Figs 1-3 of the paper) are generated as
+// transistor-level netlists.  The netlist serves three consumers:
+//
+//   1. structural tests / figure benches (device inventory, Vt map),
+//   2. the leakage solver (state-dependent, stack-aware),
+//   3. the characterization layer (device widths & caps feed the
+//      delay and energy models).
+//
+// Nodes are voltage points; devices are MOSFETs with gate/drain/source
+// terminals.  Rails (GND/VDD) are created implicitly.  The netlist is
+// append-only; ids are dense indices.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tech/mosfet.hpp"
+
+namespace lain::circuit {
+
+using NodeId = std::int32_t;
+using DeviceId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+enum class NodeKind {
+  kGround,    // fixed 0 V
+  kSupply,    // fixed Vdd
+  kSignal,    // logic node whose state is assigned per evaluation
+  kInternal,  // floating node solved by the leakage engine (stack nodes)
+};
+
+struct Node {
+  std::string name;
+  NodeKind kind = NodeKind::kSignal;
+};
+
+// Functional role of a device — used by scheme tests and the figure
+// benches to report the inventory the schematics show.
+enum class DeviceRole {
+  kPassTransistor,   // N1..N4 grant-controlled pass devices
+  kDriverPull,       // inverter pull-up/pull-down in I1/I2 chains
+  kKeeper,           // feedback level-restoring device (P1 in Fig 1)
+  kSleep,            // sleep footer (N5)
+  kPrecharge,        // precharge pFET (P1 in Fig 2)
+  kSegmentSwitch,    // segment isolation device (Fig 3)
+  kOther,
+};
+
+struct Device {
+  std::string name;
+  tech::Mosfet mos;
+  DeviceRole role = DeviceRole::kOther;
+  NodeId gate = kNoNode;
+  NodeId drain = kNoNode;
+  NodeId source = kNoNode;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  NodeId gnd() const { return gnd_; }
+  NodeId vdd() const { return vdd_; }
+
+  NodeId add_node(std::string name, NodeKind kind = NodeKind::kSignal);
+  DeviceId add_device(std::string name, const tech::Mosfet& mos,
+                      DeviceRole role, NodeId gate, NodeId drain,
+                      NodeId source);
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  const Device& device(DeviceId id) const {
+    return devices_.at(static_cast<size_t>(id));
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Device>& devices() const { return devices_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t device_count() const { return devices_.size(); }
+
+  // Lookup by name; returns kNoNode / -1 when absent.
+  NodeId find_node(std::string_view name) const;
+  DeviceId find_device(std::string_view name) const;
+
+  // Inventory helpers used by tests and the figure benches.
+  std::size_t count_devices(DeviceRole role) const;
+  std::size_t count_devices(tech::VtClass vt) const;
+  std::size_t count_devices(DeviceRole role, tech::VtClass vt) const;
+  double total_width_m() const;
+  double total_width_m(tech::VtClass vt) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Device> devices_;
+  NodeId gnd_;
+  NodeId vdd_;
+};
+
+}  // namespace lain::circuit

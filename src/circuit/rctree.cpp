@@ -1,0 +1,92 @@
+#include "circuit/rctree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lain::circuit {
+
+RCTree::RCTree() {
+  parent_.push_back(-1);
+  redge_.push_back(0.0);
+  cap_.push_back(0.0);
+}
+
+int RCTree::add_child(int parent, double res_ohm, double cap_f) {
+  if (parent < 0 || parent >= node_count()) {
+    throw std::out_of_range("RCTree::add_child: bad parent");
+  }
+  if (res_ohm < 0.0 || cap_f < 0.0) {
+    throw std::invalid_argument("RCTree::add_child: negative R or C");
+  }
+  parent_.push_back(parent);
+  redge_.push_back(res_ohm);
+  cap_.push_back(cap_f);
+  return node_count() - 1;
+}
+
+void RCTree::add_cap(int node, double cap_f) {
+  if (node < 0 || node >= node_count()) {
+    throw std::out_of_range("RCTree::add_cap: bad node");
+  }
+  cap_[static_cast<size_t>(node)] += cap_f;
+}
+
+int RCTree::add_wire(int from, const tech::WireRC& rc, double length_m,
+                     int segments) {
+  if (segments < 1) throw std::invalid_argument("segments must be >= 1");
+  if (length_m < 0.0) throw std::invalid_argument("length must be >= 0");
+  if (length_m == 0.0) return from;
+  const double seg_r = rc.r_per_m * length_m / segments;
+  const double seg_c = rc.c_per_m() * length_m / segments;
+  int node = from;
+  // pi sections: half cap at each end of every segment.
+  add_cap(node, seg_c * 0.5);
+  for (int i = 0; i < segments; ++i) {
+    const bool last = (i == segments - 1);
+    node = add_child(node, seg_r, last ? seg_c * 0.5 : seg_c);
+  }
+  return node;
+}
+
+double RCTree::total_cap_f() const {
+  double c = 0.0;
+  for (double x : cap_) c += x;
+  return c;
+}
+
+double RCTree::elmore_tau_s(int target, double rdrv_ohm) const {
+  if (target < 0 || target >= node_count()) {
+    throw std::out_of_range("RCTree::elmore_tau_s: bad target");
+  }
+  // Cumulative resistance from root to each node on the target path.
+  // rpath[k] for arbitrary node k = resistance of shared prefix of
+  // path(root->k) and path(root->target).  Compute by walking up.
+  const int n = node_count();
+  std::vector<double> rup(static_cast<size_t>(n), 0.0);  // R(root->node)
+  for (int k = 1; k < n; ++k) {
+    rup[static_cast<size_t>(k)] =
+        rup[static_cast<size_t>(parent_[static_cast<size_t>(k)])] +
+        redge_[static_cast<size_t>(k)];
+  }
+  // Mark target path.
+  std::vector<char> on_path(static_cast<size_t>(n), 0);
+  for (int k = target; k != -1; k = parent_[static_cast<size_t>(k)]) {
+    on_path[static_cast<size_t>(k)] = 1;
+  }
+  double tau = rdrv_ohm * total_cap_f();
+  for (int k = 0; k < n; ++k) {
+    // Find deepest ancestor of k that lies on the target path.
+    int a = k;
+    while (!on_path[static_cast<size_t>(a)]) {
+      a = parent_[static_cast<size_t>(a)];
+    }
+    tau += rup[static_cast<size_t>(a)] * cap_[static_cast<size_t>(k)];
+  }
+  return tau;
+}
+
+double RCTree::elmore_delay_s(int target, double rdrv_ohm) const {
+  return std::log(2.0) * elmore_tau_s(target, rdrv_ohm);
+}
+
+}  // namespace lain::circuit

@@ -1,0 +1,24 @@
+#include "core/design_point.hpp"
+
+namespace lain::core {
+
+DesignPoint::DesignPoint(const xbar::CrossbarSpec& spec) : spec_(spec) {
+  spec.validate();
+}
+
+const xbar::Characterization& DesignPoint::of(xbar::Scheme scheme) {
+  auto it = cache_.find(scheme);
+  if (it == cache_.end()) {
+    it = cache_.emplace(scheme, xbar::characterize(spec_, scheme)).first;
+  }
+  return it->second;
+}
+
+std::vector<xbar::Characterization> DesignPoint::all() {
+  std::vector<xbar::Characterization> out;
+  out.reserve(5);
+  for (xbar::Scheme s : xbar::all_schemes()) out.push_back(of(s));
+  return out;
+}
+
+}  // namespace lain::core

@@ -1,0 +1,32 @@
+// design_point.hpp — (scheme, technology, spec) -> characterization.
+//
+// Thin caching facade over xbar::characterize so examples, benches and
+// the NoC integration share one entry point.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "xbar/characterize.hpp"
+
+namespace lain::core {
+
+class DesignPoint {
+ public:
+  explicit DesignPoint(const xbar::CrossbarSpec& spec);
+
+  const xbar::CrossbarSpec& spec() const { return spec_; }
+
+  // Characterization for one scheme (computed once, cached).
+  const xbar::Characterization& of(xbar::Scheme scheme);
+
+  // All five schemes, SC first (the order Table 1 uses).
+  std::vector<xbar::Characterization> all();
+
+ private:
+  xbar::CrossbarSpec spec_;
+  std::map<xbar::Scheme, xbar::Characterization> cache_;
+};
+
+}  // namespace lain::core

@@ -1,0 +1,80 @@
+#include "core/experiments.hpp"
+
+namespace lain::core {
+
+NocPowerConfig default_noc_power(xbar::Scheme scheme, bool enable_gating) {
+  NocPowerConfig cfg;
+  cfg.xbar_spec = xbar::table1_spec();
+  cfg.scheme = scheme;
+  cfg.buffer.depth_flits = 4;
+  cfg.buffer.width_bits = cfg.xbar_spec.flit_bits;
+  cfg.buffer.vcs = 2;
+  cfg.link.width_bits = cfg.xbar_spec.flit_bits;
+  cfg.enable_gating = enable_gating;
+  return cfg;
+}
+
+noc::SimConfig default_mesh_config(double injection_rate,
+                                   noc::TrafficPattern pattern,
+                                   std::uint64_t seed) {
+  noc::SimConfig cfg;
+  cfg.topology = noc::TopologyKind::kMesh;
+  cfg.radix_x = 5;
+  cfg.radix_y = 5;
+  cfg.vcs = 2;
+  cfg.vc_depth_flits = 4;
+  cfg.pattern = pattern;
+  cfg.injection_rate = injection_rate;
+  cfg.packet_length_flits = 4;
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 4000;
+  cfg.drain_limit_cycles = 20000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
+                             noc::TrafficPattern pattern, bool enable_gating,
+                             std::uint64_t seed) {
+  noc::Simulation sim(default_mesh_config(injection_rate, pattern, seed));
+  PoweredNoc powered(sim, default_noc_power(scheme, enable_gating));
+  const noc::SimStats stats = sim.run();
+
+  NocRunResult r;
+  r.scheme = scheme;
+  r.injection_rate = injection_rate;
+  r.pattern = pattern;
+  r.avg_packet_latency_cycles = stats.packet_latency.mean();
+  r.throughput_flits_node_cycle = stats.throughput_flits_per_node_cycle();
+  r.network_power_w = powered.average_power_w();
+  r.crossbar_power_w = powered.crossbar_average_power_w();
+  const auto cycles = powered.total_cycles();
+  r.standby_fraction =
+      cycles ? static_cast<double>(powered.standby_cycles()) / cycles : 0.0;
+  const double seconds =
+      cycles ? static_cast<double>(cycles) /
+                   static_cast<double>(sim.network().num_nodes()) /
+                   powered.config().xbar_spec.freq_hz
+             : 0.0;
+  r.realized_saving_w =
+      seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
+  r.saturated = sim.saturated();
+  return r;
+}
+
+noc::Histogram idle_run_histogram(double injection_rate,
+                                  noc::TrafficPattern pattern,
+                                  std::uint64_t seed) {
+  noc::Simulation sim(default_mesh_config(injection_rate, pattern, seed));
+  sim.run();
+  noc::Histogram merged;
+  for (noc::NodeId n = 0; n < sim.network().num_nodes(); ++n) {
+    for (const auto& [len, count] :
+         sim.network().router(n).activity().idle_runs().bins()) {
+      for (std::int64_t i = 0; i < count; ++i) merged.add(len);
+    }
+  }
+  return merged;
+}
+
+}  // namespace lain::core

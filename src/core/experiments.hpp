@@ -1,0 +1,51 @@
+// experiments.hpp — shared harness for the bench/ and examples/
+// executables: canonical configurations and one-call experiment
+// runners for the per-experiment index in DESIGN.md.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/noc_integration.hpp"
+#include "core/table1.hpp"
+
+namespace lain::core {
+
+// Canonical NoC power configuration for a scheme at the Table-1
+// technology point (5-port routers, 128-bit flits).
+NocPowerConfig default_noc_power(xbar::Scheme scheme,
+                                 bool enable_gating = true);
+
+// Canonical 5x5-mesh simulation config used by the E8/E9 experiments.
+noc::SimConfig default_mesh_config(double injection_rate,
+                                   noc::TrafficPattern pattern,
+                                   std::uint64_t seed = 1);
+
+// Result of one powered NoC run.
+struct NocRunResult {
+  xbar::Scheme scheme;
+  double injection_rate = 0.0;
+  noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
+  double avg_packet_latency_cycles = 0.0;
+  double throughput_flits_node_cycle = 0.0;
+  double network_power_w = 0.0;
+  double crossbar_power_w = 0.0;
+  double standby_fraction = 0.0;       // crossbar cycles spent gated
+  double realized_saving_w = 0.0;      // vs never gating
+  bool saturated = false;
+};
+
+// Runs one powered simulation (E8): mesh + scheme + injection rate.
+NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
+                             noc::TrafficPattern pattern,
+                             bool enable_gating = true,
+                             std::uint64_t seed = 1);
+
+// Idle-run-length histogram of every router's crossbar under the given
+// load (E9).  Returns the merged histogram.
+noc::Histogram idle_run_histogram(double injection_rate,
+                                  noc::TrafficPattern pattern,
+                                  std::uint64_t seed = 1);
+
+}  // namespace lain::core

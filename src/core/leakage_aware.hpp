@@ -1,0 +1,21 @@
+// leakage_aware.hpp — umbrella header for the LAIN library.
+//
+// LAIN (Leakage-Aware Interconnect for on-chip Networks) reproduces
+// Tsai et al., "Leakage-Aware Interconnect for On-Chip Network",
+// DATE 2005.  Typical entry points:
+//
+//   #include "core/leakage_aware.hpp"
+//
+//   auto spec = lain::xbar::table1_spec();
+//   auto c = lain::xbar::characterize(spec, lain::xbar::Scheme::kDPC);
+//   auto table = lain::core::make_table1();           // the paper's Table 1
+//   auto run = lain::core::run_powered_noc(...);      // NoC-level experiment
+
+#pragma once
+
+#include "core/design_point.hpp"      // IWYU pragma: export
+#include "core/experiments.hpp"       // IWYU pragma: export
+#include "core/noc_integration.hpp"   // IWYU pragma: export
+#include "core/table1.hpp"            // IWYU pragma: export
+#include "power/report.hpp"           // IWYU pragma: export
+#include "xbar/characterize.hpp"      // IWYU pragma: export

@@ -1,0 +1,70 @@
+// noc_integration.hpp — attach the leakage-aware crossbars to the
+// cycle-accurate simulator.
+//
+// Every router gets a RouterPower account whose crossbar uses the
+// chosen scheme's characterization; the sleep controller applies the
+// Minimum Idle Time policy, and a standby crossbar stalls switch
+// traversal until it wakes (the simulator therefore *feels* the
+// gating: latency and energy are both affected).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/sim.hpp"
+#include "power/router_power.hpp"
+
+namespace lain::core {
+
+struct NocPowerConfig {
+  xbar::CrossbarSpec xbar_spec;   // ports must equal noc::kNumPorts
+  xbar::Scheme scheme = xbar::Scheme::kSC;
+  power::BufferParams buffer;
+  power::LinkParams link;
+  bool enable_gating = true;      // false: never enter standby
+};
+
+// Per-router hook bridging noc::Router events to power::RouterPower.
+class RouterPowerHook final : public noc::PowerHook {
+ public:
+  RouterPowerHook(const NocPowerConfig& cfg,
+                  const xbar::Characterization& chars);
+  bool xbar_ready() override;
+  void on_cycle(const noc::RouterEvents& ev) override;
+  const power::RouterPower& power() const { return power_; }
+
+ private:
+  power::RouterPower power_;
+  bool gating_;
+};
+
+// Fabric-wide power integration: owns one hook per router.
+class PoweredNoc {
+ public:
+  PoweredNoc(noc::Simulation& sim, const NocPowerConfig& cfg);
+
+  const RouterPowerHook& hook(noc::NodeId n) const {
+    return *hooks_.at(static_cast<size_t>(n));
+  }
+
+  // Aggregate energy / power over all routers.
+  double total_energy_j() const;
+  double crossbar_energy_j() const;
+  double average_power_w() const;
+  double crossbar_average_power_w() const;
+  // Fabric-wide realized standby saving vs never gating (J).
+  double realized_standby_saving_j() const;
+  std::int64_t standby_cycles() const;
+  std::int64_t total_cycles() const;
+
+  const NocPowerConfig& config() const { return cfg_; }
+  const xbar::Characterization& characterization() const { return chars_; }
+
+ private:
+  NocPowerConfig cfg_;
+  xbar::Characterization chars_;
+  std::vector<std::unique_ptr<RouterPowerHook>> hooks_;
+};
+
+}  // namespace lain::core

@@ -1,0 +1,41 @@
+// table1.hpp — the paper's Table 1, regenerated.
+//
+// Produces the full table (five schemes x seven rows) plus the paper's
+// published values so benches and tests can print and check
+// paper-vs-measured side by side.
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/design_point.hpp"
+
+namespace lain::core {
+
+struct Table1Row {
+  xbar::Scheme scheme;
+  double delay_hl_ps;
+  double delay_lh_ps;
+  double active_saving;   // fraction; NaN-free: 0 for SC
+  double standby_saving;  // fraction
+  int min_idle_cycles;
+  double total_power_mw;
+  double delay_penalty;   // fraction, 0 = "No"
+};
+
+struct Table1 {
+  std::array<Table1Row, 5> rows;  // SC, DFC, DPC, SDFC, SDPC
+  std::string formatted;          // rendered table (power/report)
+};
+
+// Regenerates Table 1 at `spec` (default: the paper's design point).
+Table1 make_table1(const xbar::CrossbarSpec& spec = xbar::table1_spec());
+
+// The values published in the paper, for comparison (same row order).
+const std::array<Table1Row, 5>& paper_table1();
+
+// Renders a paper-vs-measured comparison.
+std::string format_comparison(const Table1& measured);
+
+}  // namespace lain::core

@@ -1,0 +1,56 @@
+#include "noc/allocator.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+
+SeparableAllocator::SeparableAllocator(int inputs, int outputs)
+    : inputs_(inputs), outputs_(outputs) {
+  if (inputs < 1 || outputs < 1) {
+    throw std::invalid_argument("allocator needs >= 1 input and output");
+  }
+  input_stage_.reserve(static_cast<size_t>(inputs));
+  output_stage_.reserve(static_cast<size_t>(outputs));
+  // Staggered initial priorities prevent the inputs from proposing the
+  // same output in lockstep forever.
+  for (int i = 0; i < inputs; ++i) {
+    input_stage_.emplace_back(outputs, i % outputs);
+  }
+  for (int o = 0; o < outputs; ++o) output_stage_.emplace_back(inputs);
+}
+
+std::vector<int> SeparableAllocator::allocate(
+    const std::vector<std::vector<bool>>& requests) {
+  if (static_cast<int>(requests.size()) != inputs_) {
+    throw std::invalid_argument("request matrix row count mismatch");
+  }
+  // Stage 1: each input proposes one output.
+  std::vector<int> proposal(static_cast<size_t>(inputs_), -1);
+  for (int i = 0; i < inputs_; ++i) {
+    if (static_cast<int>(requests[static_cast<size_t>(i)].size()) !=
+        outputs_) {
+      throw std::invalid_argument("request matrix column count mismatch");
+    }
+    proposal[static_cast<size_t>(i)] =
+        input_stage_[static_cast<size_t>(i)].arbitrate(
+            requests[static_cast<size_t>(i)]);
+  }
+  // Stage 2: each output grants one proposing input.
+  std::vector<int> grant(static_cast<size_t>(inputs_), -1);
+  for (int o = 0; o < outputs_; ++o) {
+    std::vector<bool> reqs(static_cast<size_t>(inputs_), false);
+    bool any = false;
+    for (int i = 0; i < inputs_; ++i) {
+      if (proposal[static_cast<size_t>(i)] == o) {
+        reqs[static_cast<size_t>(i)] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const int winner = output_stage_[static_cast<size_t>(o)].arbitrate(reqs);
+    if (winner >= 0) grant[static_cast<size_t>(winner)] = o;
+  }
+  return grant;
+}
+
+}  // namespace lain::noc

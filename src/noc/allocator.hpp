@@ -1,0 +1,36 @@
+// allocator.hpp — separable input-first allocators.
+//
+// Used for both VC allocation (requesters = input VCs, resources =
+// output VCs) and switch allocation (requesters = input ports,
+// resources = output ports).  Stage 1 picks one request per input
+// (round-robin), stage 2 arbitrates per output (matrix arbiter).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/arbiter.hpp"
+
+namespace lain::noc {
+
+class SeparableAllocator {
+ public:
+  SeparableAllocator(int inputs, int outputs);
+
+  // requests[i][o] = input i wants output o.  Returns grant[i] =
+  // granted output for input i, or -1.  Each output is granted to at
+  // most one input and each input receives at most one output.
+  std::vector<int> allocate(const std::vector<std::vector<bool>>& requests);
+
+  int inputs() const { return inputs_; }
+  int outputs() const { return outputs_; }
+
+ private:
+  int inputs_;
+  int outputs_;
+  std::vector<RoundRobinArbiter> input_stage_;
+  std::vector<MatrixArbiter> output_stage_;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,78 @@
+#include "noc/arbiter.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+
+RoundRobinArbiter::RoundRobinArbiter(int inputs, int start)
+    : inputs_(inputs), next_(start) {
+  if (inputs < 1) throw std::invalid_argument("arbiter needs >= 1 input");
+  if (start < 0 || start >= inputs) {
+    throw std::invalid_argument("arbiter start index out of range");
+  }
+}
+
+int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
+  if (static_cast<int>(requests.size()) != inputs_) {
+    throw std::invalid_argument("request vector size mismatch");
+  }
+  for (int i = 0; i < inputs_; ++i) {
+    const int idx = (next_ + i) % inputs_;
+    if (requests[static_cast<size_t>(idx)]) {
+      next_ = (idx + 1) % inputs_;
+      return idx;
+    }
+  }
+  return -1;
+}
+
+MatrixArbiter::MatrixArbiter(int inputs)
+    : inputs_(inputs),
+      m_(static_cast<size_t>(inputs) * static_cast<size_t>(inputs), false) {
+  if (inputs < 1) throw std::invalid_argument("arbiter needs >= 1 input");
+  // Initial priority: lower index beats higher.
+  for (int a = 0; a < inputs; ++a) {
+    for (int b = a + 1; b < inputs; ++b) {
+      m_[static_cast<size_t>(a * inputs + b)] = true;
+    }
+  }
+}
+
+bool MatrixArbiter::prio(int a, int b) const {
+  return m_[static_cast<size_t>(a * inputs_ + b)];
+}
+
+void MatrixArbiter::update(int winner) {
+  // Winner becomes lowest priority: clear its row, set its column.
+  for (int b = 0; b < inputs_; ++b) {
+    if (b == winner) continue;
+    m_[static_cast<size_t>(winner * inputs_ + b)] = false;
+    m_[static_cast<size_t>(b * inputs_ + winner)] = true;
+  }
+}
+
+int MatrixArbiter::arbitrate(const std::vector<bool>& requests) {
+  if (static_cast<int>(requests.size()) != inputs_) {
+    throw std::invalid_argument("request vector size mismatch");
+  }
+  int winner = -1;
+  for (int a = 0; a < inputs_; ++a) {
+    if (!requests[static_cast<size_t>(a)]) continue;
+    bool beats_all = true;
+    for (int b = 0; b < inputs_; ++b) {
+      if (b == a || !requests[static_cast<size_t>(b)]) continue;
+      if (!prio(a, b)) {
+        beats_all = false;
+        break;
+      }
+    }
+    if (beats_all) {
+      winner = a;
+      break;
+    }
+  }
+  if (winner >= 0) update(winner);
+  return winner;
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,49 @@
+// arbiter.hpp — round-robin and matrix arbiters.
+//
+// Both are strong arbiters (a persistent requester is eventually
+// granted — property-tested in tests/test_arbiter.cpp).  The matrix
+// arbiter implements least-recently-served priority with R(R-1)/2
+// state bits, as in the router the paper's crossbar would sit in.
+
+#pragma once
+
+#include <vector>
+
+namespace lain::noc {
+
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+  // Returns the granted index, or -1 if no requests.  `requests` size
+  // must equal num_inputs().
+  virtual int arbitrate(const std::vector<bool>& requests) = 0;
+  virtual int num_inputs() const = 0;
+};
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  // `start` sets the initial highest-priority index; separable
+  // allocators stagger it per input to avoid lockstep proposals.
+  explicit RoundRobinArbiter(int inputs, int start = 0);
+  int arbitrate(const std::vector<bool>& requests) override;
+  int num_inputs() const override { return inputs_; }
+
+ private:
+  int inputs_;
+  int next_;  // highest-priority index
+};
+
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(int inputs);
+  int arbitrate(const std::vector<bool>& requests) override;
+  int num_inputs() const override { return inputs_; }
+
+ private:
+  bool prio(int a, int b) const;   // true if a beats b
+  void update(int winner);
+  int inputs_;
+  std::vector<bool> m_;  // row-major upper-triangular priority matrix
+};
+
+}  // namespace lain::noc

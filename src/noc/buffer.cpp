@@ -1,0 +1,42 @@
+#include "noc/buffer.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+
+VcBuffer::VcBuffer(int capacity_flits) : capacity_(capacity_flits) {
+  if (capacity_flits < 1) {
+    throw std::invalid_argument("VC buffer capacity must be >= 1");
+  }
+}
+
+void VcBuffer::push(const Flit& f) {
+  if (full()) throw std::logic_error("VC buffer overflow (credit bug)");
+  q_.push_back(f);
+}
+
+const Flit& VcBuffer::front() const {
+  if (q_.empty()) throw std::logic_error("front() on empty VC buffer");
+  return q_.front();
+}
+
+Flit VcBuffer::pop() {
+  if (q_.empty()) throw std::logic_error("pop() on empty VC buffer");
+  Flit f = q_.front();
+  q_.pop_front();
+  return f;
+}
+
+InputPort::InputPort(int vcs, int capacity_flits) {
+  if (vcs < 1) throw std::invalid_argument("need >= 1 VC");
+  vcs_.reserve(static_cast<size_t>(vcs));
+  for (int i = 0; i < vcs; ++i) vcs_.emplace_back(capacity_flits);
+}
+
+int InputPort::total_occupancy() const {
+  int n = 0;
+  for (const auto& v : vcs_) n += v.size();
+  return n;
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,57 @@
+// buffer.hpp — per-VC input FIFO buffers.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace lain::noc {
+
+// State of one virtual channel at an input port.
+enum class VcState : std::int8_t {
+  kIdle,        // no packet resident
+  kRouting,     // head at front, output port not yet computed
+  kWaitingVc,   // route known, waiting for an output VC
+  kActive,      // output VC granted, flits may traverse
+};
+
+class VcBuffer {
+ public:
+  explicit VcBuffer(int capacity_flits);
+
+  bool empty() const { return q_.empty(); }
+  bool full() const { return static_cast<int>(q_.size()) >= capacity_; }
+  int size() const { return static_cast<int>(q_.size()); }
+  int capacity() const { return capacity_; }
+
+  void push(const Flit& f);
+  const Flit& front() const;
+  Flit pop();
+
+  VcState state = VcState::kIdle;
+  int out_port = -1;  // route-computed output port
+  int out_vc = -1;    // allocated downstream VC
+
+ private:
+  int capacity_;
+  std::deque<Flit> q_;
+};
+
+// All VC buffers of one input port.
+class InputPort {
+ public:
+  InputPort(int vcs, int capacity_flits);
+
+  VcBuffer& vc(int v) { return vcs_.at(static_cast<size_t>(v)); }
+  const VcBuffer& vc(int v) const { return vcs_.at(static_cast<size_t>(v)); }
+  int num_vcs() const { return static_cast<int>(vcs_.size()); }
+  int total_occupancy() const;
+
+ private:
+  std::vector<VcBuffer> vcs_;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,70 @@
+// channel.hpp — pipelined flit and credit channels.
+//
+// A channel models link traversal with a fixed latency: items written
+// at cycle t become visible to the receiver at t + latency.  Channels
+// are advanced once per simulator cycle by the kernel.
+
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "noc/flit.hpp"
+
+namespace lain::noc {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(int latency_cycles = 1) : latency_(latency_cycles) {
+    if (latency_cycles < 1) {
+      throw std::invalid_argument("channel latency must be >= 1");
+    }
+  }
+
+  // Producer side (at most one item per cycle).
+  void send(const T& item) {
+    if (sent_this_cycle_) {
+      throw std::logic_error("channel accepts one item per cycle");
+    }
+    pipe_.push_back(Slot{item, latency_});
+    sent_this_cycle_ = true;
+  }
+
+  // Consumer side: item that has completed traversal, if any.
+  std::optional<T> receive() {
+    if (!pipe_.empty() && pipe_.front().remaining == 0) {
+      T item = pipe_.front().item;
+      pipe_.pop_front();
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  // Kernel: advance one cycle.
+  void tick() {
+    for (auto& s : pipe_) {
+      if (s.remaining > 0) --s.remaining;
+    }
+    sent_this_cycle_ = false;
+  }
+
+  bool in_flight() const { return !pipe_.empty(); }
+  int in_flight_count() const { return static_cast<int>(pipe_.size()); }
+  int latency() const { return latency_; }
+
+ private:
+  struct Slot {
+    T item;
+    int remaining;
+  };
+  int latency_;
+  std::deque<Slot> pipe_;
+  bool sent_this_cycle_ = false;
+};
+
+using FlitChannel = Channel<Flit>;
+using CreditChannel = Channel<Credit>;
+
+}  // namespace lain::noc

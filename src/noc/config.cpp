@@ -1,0 +1,68 @@
+#include "noc/config.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+
+const char* traffic_name(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitComplement: return "bitcomp";
+    case TrafficPattern::kBitReverse: return "bitrev";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kTornado: return "tornado";
+    case TrafficPattern::kNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+TrafficPattern traffic_from_name(const std::string& name) {
+  if (name == "uniform") return TrafficPattern::kUniform;
+  if (name == "transpose") return TrafficPattern::kTranspose;
+  if (name == "bitcomp") return TrafficPattern::kBitComplement;
+  if (name == "bitrev") return TrafficPattern::kBitReverse;
+  if (name == "hotspot") return TrafficPattern::kHotspot;
+  if (name == "tornado") return TrafficPattern::kTornado;
+  if (name == "neighbor") return TrafficPattern::kNeighbor;
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+void SimConfig::validate() const {
+  if (radix_x < 2 || radix_y < 2) {
+    throw std::invalid_argument("mesh radix must be >= 2 in each dimension");
+  }
+  if (vcs < 1) throw std::invalid_argument("need >= 1 virtual channel");
+  if (topology == TopologyKind::kTorus && vcs < 2) {
+    throw std::invalid_argument("torus dateline routing needs >= 2 VCs");
+  }
+  if (vc_depth_flits < 1) throw std::invalid_argument("VC depth must be >= 1");
+  if (link_latency < 1) throw std::invalid_argument("link latency must be >= 1");
+  if (injection_rate < 0.0 || injection_rate > 1.0) {
+    throw std::invalid_argument("injection rate must be in [0,1]");
+  }
+  if (packet_length_flits < 1) {
+    throw std::invalid_argument("packet length must be >= 1 flit");
+  }
+  if (hotspot_node < 0 || hotspot_node >= num_nodes()) {
+    throw std::invalid_argument("hotspot node outside topology");
+  }
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    throw std::invalid_argument("hotspot fraction must be in [0,1]");
+  }
+  if (warmup_cycles < 0 || measure_cycles <= 0 || drain_limit_cycles < 0) {
+    throw std::invalid_argument("bad phase lengths");
+  }
+  if (burst_duty <= 0.0 || burst_duty > 1.0) {
+    throw std::invalid_argument("burst duty must be in (0,1]");
+  }
+  if (burst_on_mean_cycles < 1.0) {
+    throw std::invalid_argument("burst ON dwell must be >= 1 cycle");
+  }
+  if (injection_rate / burst_duty > 1.0) {
+    throw std::invalid_argument(
+        "burst duty too low: ON-state rate would exceed 1 flit/cycle");
+  }
+}
+
+}  // namespace lain::noc

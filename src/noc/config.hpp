@@ -1,0 +1,67 @@
+// config.hpp — simulation configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "noc/routing.hpp"
+
+namespace lain::noc {
+
+enum class TrafficPattern {
+  kUniform,
+  kTranspose,
+  kBitComplement,
+  kBitReverse,
+  kHotspot,
+  kTornado,
+  kNeighbor,
+};
+
+const char* traffic_name(TrafficPattern p);
+TrafficPattern traffic_from_name(const std::string& name);
+
+struct SimConfig {
+  // Topology.
+  TopologyKind topology = TopologyKind::kMesh;
+  int radix_x = 5;
+  int radix_y = 5;
+
+  // Router microarchitecture.
+  int vcs = 2;
+  int vc_depth_flits = 4;
+  int link_latency = 1;
+
+  // Workload.
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  double injection_rate = 0.1;   // flits / node / cycle (long-run average)
+  int packet_length_flits = 4;
+  NodeId hotspot_node = 0;
+  double hotspot_fraction = 0.2; // traffic share directed at the hotspot
+  // On-off burstiness (two-state modulated Bernoulli): each node
+  // alternates between an ON state injecting at rate/duty and an OFF
+  // state injecting nothing, with geometrically distributed dwell
+  // times of the given means.  duty = 1.0 disables modulation.  The
+  // long-run average rate is preserved; burstiness concentrates
+  // traffic and lengthens the idle runs the sleep policy feeds on.
+  double burst_duty = 1.0;       // fraction of time in the ON state
+  double burst_on_mean_cycles = 50.0;
+
+  // Phases.
+  Cycle warmup_cycles = 1000;
+  Cycle measure_cycles = 5000;
+  Cycle drain_limit_cycles = 20000;
+
+  std::uint64_t seed = 1;
+
+  int num_nodes() const { return radix_x * radix_y; }
+  RouteContext route_context() const {
+    return RouteContext{topology, radix_x, radix_y};
+  }
+
+  // Throws std::invalid_argument on inconsistency.
+  void validate() const;
+};
+
+}  // namespace lain::noc

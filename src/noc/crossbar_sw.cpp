@@ -1,0 +1,31 @@
+#include "noc/crossbar_sw.hpp"
+
+namespace lain::noc {
+
+void CrossbarActivity::record(int active_outputs) {
+  ++cycles_;
+  if (active_outputs > 0) {
+    busy_cycles_++;
+    traversals_ += active_outputs;
+    if (idle_run_ > 0) {
+      idle_runs_.add(idle_run_);
+      idle_run_ = 0;
+    }
+  } else {
+    ++idle_run_;
+    ++idle_cycles_;
+  }
+}
+
+double CrossbarActivity::gateable_idle_fraction(int min_idle_cycles) const {
+  if (idle_cycles_ == 0) return 0.0;
+  std::int64_t gateable = 0;
+  for (const auto& [len, count] : idle_runs_.bins()) {
+    if (len >= min_idle_cycles) gateable += len * count;
+  }
+  // The still-open idle run counts if already long enough.
+  if (idle_run_ >= min_idle_cycles) gateable += idle_run_;
+  return static_cast<double>(gateable) / static_cast<double>(idle_cycles_);
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,33 @@
+// flit.hpp — flits, packets and credits.
+
+#pragma once
+
+#include "noc/types.hpp"
+
+namespace lain::noc {
+
+enum class FlitType : std::int8_t { kHead, kBody, kTail, kHeadTail };
+
+struct Flit {
+  FlitType type = FlitType::kHead;
+  PacketId packet = -1;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int vc = 0;                 // virtual channel currently occupied
+  Cycle created = 0;          // packet creation time (head carries it)
+  Cycle injected = 0;         // time the flit entered the network
+  int hops = 0;
+
+  bool is_head() const {
+    return type == FlitType::kHead || type == FlitType::kHeadTail;
+  }
+  bool is_tail() const {
+    return type == FlitType::kTail || type == FlitType::kHeadTail;
+  }
+};
+
+struct Credit {
+  int vc = 0;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,94 @@
+#include "noc/nic.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+
+Nic::Nic(NodeId node, const SimConfig& cfg)
+    : node_(node),
+      cfg_(cfg),
+      credits_(static_cast<size_t>(cfg.vcs), cfg.vc_depth_flits) {}
+
+void Nic::connect(FlitChannel* inject_out, CreditChannel* credit_in,
+                  FlitChannel* eject_in, CreditChannel* credit_out) {
+  inject_out_ = inject_out;
+  credit_in_ = credit_in;
+  eject_in_ = eject_in;
+  credit_out_ = credit_out;
+}
+
+void Nic::source_packet(NodeId dst, Cycle now, PacketId id) {
+  const int len = cfg_.packet_length_flits;
+  for (int i = 0; i < len; ++i) {
+    Flit f;
+    if (len == 1) {
+      f.type = FlitType::kHeadTail;
+    } else if (i == 0) {
+      f.type = FlitType::kHead;
+    } else if (i == len - 1) {
+      f.type = FlitType::kTail;
+    } else {
+      f.type = FlitType::kBody;
+    }
+    f.packet = id;
+    f.src = node_;
+    f.dst = dst;
+    f.created = now;
+    queue_.push_back(f);
+  }
+}
+
+void Nic::tick(Cycle now) {
+  completions_.clear();
+
+  // Drain returned credits.
+  while (auto c = credit_in_->receive()) {
+    ++credits_[static_cast<size_t>(c->vc)];
+    if (credits_[static_cast<size_t>(c->vc)] > cfg_.vc_depth_flits) {
+      throw std::logic_error("NIC credit overflow");
+    }
+  }
+
+  // Eject arriving flits (infinite sink: credit returned immediately).
+  while (auto f = eject_in_->receive()) {
+    credit_out_->send(Credit{f->vc});
+    ++flits_ejected_;
+    if (f->is_tail()) {
+      ++packets_ejected_;
+      completions_.push_back(Ejection{f->packet, f->src, f->created,
+                                      f->injected, now, f->hops});
+    }
+  }
+
+  // Inject at most one flit per cycle.
+  if (queue_.empty()) return;
+  Flit& f = queue_.front();
+  int vc = -1;
+  if (f.is_head()) {
+    // New packet: pick a VC with a full buffer's worth of headroom to
+    // avoid interleaving packets on one VC (round-robin start).
+    for (int i = 0; i < cfg_.vcs; ++i) {
+      const int cand = (next_vc_ + i) % cfg_.vcs;
+      if (credits_[static_cast<size_t>(cand)] > 0) {
+        vc = cand;
+        break;
+      }
+    }
+    if (vc < 0) return;  // no credit anywhere
+    next_vc_ = (vc + 1) % cfg_.vcs;
+    open_vc_ = vc;
+  } else {
+    vc = open_vc_;
+    if (vc < 0) throw std::logic_error("body flit without open VC");
+    if (credits_[static_cast<size_t>(vc)] <= 0) return;  // stall
+  }
+  f.vc = vc;
+  f.injected = now;
+  inject_out_->send(f);
+  --credits_[static_cast<size_t>(vc)];
+  ++flits_injected_;
+  if (f.is_tail()) open_vc_ = -1;
+  queue_.pop_front();
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,69 @@
+// nic.hpp — network interface: injection queues and ejection sink.
+//
+// The NIC sits on the router's local port: it segments generated
+// packets into flits, injects them under credit flow control, and
+// sinks ejected flits (returning credits immediately — an infinite
+// ejection buffer, the standard BookSim assumption).
+
+#pragma once
+
+#include <deque>
+
+#include "noc/channel.hpp"
+#include "noc/config.hpp"
+#include "noc/stats.hpp"
+
+namespace lain::noc {
+
+class Nic {
+ public:
+  Nic(NodeId node, const SimConfig& cfg);
+
+  // Wiring: inject_out feeds the router's local input; credit_in
+  // returns its credits.  eject_in delivers flits from the router's
+  // local output; credit_out acknowledges them.
+  void connect(FlitChannel* inject_out, CreditChannel* credit_in,
+               FlitChannel* eject_in, CreditChannel* credit_out);
+
+  // Queues a new packet for injection.
+  void source_packet(NodeId dst, Cycle now, PacketId id);
+
+  // One cycle: drain credits, eject flits, inject at most one flit.
+  void tick(Cycle now);
+
+  // Observability.
+  int source_queue_flits() const { return static_cast<int>(queue_.size()); }
+  std::int64_t flits_injected() const { return flits_injected_; }
+  std::int64_t flits_ejected() const { return flits_ejected_; }
+  std::int64_t packets_ejected() const { return packets_ejected_; }
+
+  // Per-packet completion callback (tail ejected).
+  struct Ejection {
+    PacketId packet;
+    NodeId src;
+    Cycle created;
+    Cycle injected;
+    Cycle ejected;
+    int hops;
+  };
+  // Completions observed this tick (cleared on the next tick).
+  const std::vector<Ejection>& completions() const { return completions_; }
+
+ private:
+  NodeId node_;
+  SimConfig cfg_;
+  std::deque<Flit> queue_;  // flit-segmented source queue
+  std::vector<int> credits_;  // per-VC credits toward the router
+  int next_vc_ = 0;
+  int open_vc_ = -1;  // VC carrying the packet currently being injected
+  FlitChannel* inject_out_ = nullptr;
+  CreditChannel* credit_in_ = nullptr;
+  FlitChannel* eject_in_ = nullptr;
+  CreditChannel* credit_out_ = nullptr;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_ejected_ = 0;
+  std::int64_t packets_ejected_ = 0;
+  std::vector<Ejection> completions_;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,231 @@
+#include "noc/router.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+namespace {
+
+// Dateline VC classes for the torus: a packet uses the lower half of
+// the VCs until it crosses the wrap edge, the upper half afterwards.
+int vc_class_of(int vc, int vcs) { return (vc < vcs / 2) ? 0 : 1; }
+
+}  // namespace
+
+Router::Router(NodeId id, const SimConfig& cfg)
+    : id_(id),
+      cfg_(cfg),
+      ctx_(cfg.route_context()),
+      in_flits_(kNumPorts, nullptr),
+      out_credits_(kNumPorts, nullptr),
+      out_flits_(kNumPorts, nullptr),
+      in_credits_(kNumPorts, nullptr),
+      vc_alloc_(kNumPorts * cfg.vcs, kNumPorts * cfg.vcs),
+      sw_alloc_(kNumPorts, kNumPorts) {
+  cfg.validate();
+  inputs_.reserve(kNumPorts);
+  credits_.reserve(kNumPorts);
+  out_vc_owner_.reserve(kNumPorts);
+  sa_vc_pick_.reserve(kNumPorts);
+  for (int p = 0; p < kNumPorts; ++p) {
+    inputs_.emplace_back(cfg.vcs, cfg.vc_depth_flits);
+    credits_.emplace_back(static_cast<size_t>(cfg.vcs), cfg.vc_depth_flits);
+    out_vc_owner_.emplace_back(static_cast<size_t>(cfg.vcs), -1);
+    sa_vc_pick_.emplace_back(cfg.vcs);
+  }
+}
+
+void Router::connect_input(Dir d, FlitChannel* flits_in,
+                           CreditChannel* credits_out) {
+  in_flits_.at(static_cast<size_t>(port(d))) = flits_in;
+  out_credits_.at(static_cast<size_t>(port(d))) = credits_out;
+}
+
+void Router::connect_output(Dir d, FlitChannel* flits_out,
+                            CreditChannel* credits_in) {
+  out_flits_.at(static_cast<size_t>(port(d))) = flits_out;
+  in_credits_.at(static_cast<size_t>(port(d))) = credits_in;
+}
+
+int Router::occupancy() const {
+  int n = 0;
+  for (const auto& ip : inputs_) n += ip.total_occupancy();
+  return n;
+}
+
+void Router::receive() {
+  for (int p = 0; p < kNumPorts; ++p) {
+    FlitChannel* ch = in_flits_[static_cast<size_t>(p)];
+    if (ch == nullptr) continue;
+    while (auto f = ch->receive()) {
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(f->vc);
+      vcb.push(*f);
+      ++events_.flits_received;
+      // A head arriving at an idle VC starts a new packet; a head
+      // arriving behind a draining tail waits its turn (the VC flips
+      // to kRouting when the tail leaves).
+      if (f->is_head() && vcb.state == VcState::kIdle) {
+        vcb.state = VcState::kRouting;
+      }
+    }
+  }
+  for (int p = 0; p < kNumPorts; ++p) {
+    CreditChannel* cr = in_credits_[static_cast<size_t>(p)];
+    if (cr == nullptr) continue;
+    while (auto c = cr->receive()) {
+      ++credits_[static_cast<size_t>(p)][static_cast<size_t>(c->vc)];
+      if (credits_[static_cast<size_t>(p)][static_cast<size_t>(c->vc)] >
+          cfg_.vc_depth_flits) {
+        throw std::logic_error("credit overflow (flow-control bug)");
+      }
+    }
+  }
+}
+
+void Router::route_compute() {
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      if (vcb.state != VcState::kRouting || vcb.empty()) continue;
+      const Flit& head = vcb.front();
+      if (!head.is_head()) {
+        throw std::logic_error("non-head flit at routing VC head");
+      }
+      vcb.out_port = port(route_xy(id_, head.dst, ctx_));
+      vcb.state = VcState::kWaitingVc;
+    }
+  }
+}
+
+bool Router::vc_admissible(int in_port, int in_vc, int out_port,
+                           int out_vc) const {
+  if (cfg_.topology != TopologyKind::kTorus) return true;
+  if (out_port == port(Dir::kLocal)) return true;
+  // Dateline rule: class may only move 0 -> 1 at the wrap crossing and
+  // never back.  Freshly injected packets (local input) start at 0.
+  const int cur_class =
+      (in_port == port(Dir::kLocal)) ? 0 : vc_class_of(in_vc, cfg_.vcs);
+  const bool crossing =
+      crosses_dateline(id_, static_cast<Dir>(out_port), ctx_);
+  const int next_class = (cur_class == 1 || crossing) ? 1 : cur_class;
+  return vc_class_of(out_vc, cfg_.vcs) == next_class;
+}
+
+void Router::vc_allocate() {
+  const int n = kNumPorts * cfg_.vcs;
+  std::vector<std::vector<bool>> req(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+  bool any = false;
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      if (vcb.state != VcState::kWaitingVc) continue;
+      for (int ov = 0; ov < cfg_.vcs; ++ov) {
+        if (out_vc_owner_[static_cast<size_t>(vcb.out_port)]
+                         [static_cast<size_t>(ov)] != -1) {
+          continue;
+        }
+        if (!vc_admissible(p, v, vcb.out_port, ov)) continue;
+        req[static_cast<size_t>(p * cfg_.vcs + v)]
+           [static_cast<size_t>(vcb.out_port * cfg_.vcs + ov)] = true;
+        any = true;
+      }
+    }
+  }
+  if (!any) return;
+  const std::vector<int> grant = vc_alloc_.allocate(req);
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      const int g = grant[static_cast<size_t>(p * cfg_.vcs + v)];
+      if (g < 0) continue;
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      vcb.out_vc = g % cfg_.vcs;
+      vcb.state = VcState::kActive;
+      out_vc_owner_[static_cast<size_t>(vcb.out_port)]
+                   [static_cast<size_t>(vcb.out_vc)] = p * cfg_.vcs + v;
+      ++events_.arbitrations;
+    }
+  }
+}
+
+void Router::switch_traverse() {
+  // Pick one candidate VC per input port, then allocate ports.
+  std::vector<int> chosen_vc(kNumPorts, -1);
+  std::vector<std::vector<bool>> req(
+      kNumPorts, std::vector<bool>(kNumPorts, false));
+  bool demand = false;
+  for (int p = 0; p < kNumPorts; ++p) {
+    std::vector<bool> candidates(static_cast<size_t>(cfg_.vcs), false);
+    bool any = false;
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      if (vcb.state != VcState::kActive || vcb.empty()) continue;
+      if (credits_[static_cast<size_t>(vcb.out_port)]
+                  [static_cast<size_t>(vcb.out_vc)] <= 0) {
+        continue;
+      }
+      candidates[static_cast<size_t>(v)] = true;
+      any = true;
+    }
+    if (!any) continue;
+    demand = true;
+    const int v = sa_vc_pick_[static_cast<size_t>(p)].arbitrate(candidates);
+    chosen_vc[static_cast<size_t>(p)] = v;
+    const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+    req[static_cast<size_t>(p)][static_cast<size_t>(vcb.out_port)] = true;
+  }
+
+  events_.demand = demand;
+  if (!demand) {
+    activity_.record(0);
+    return;
+  }
+
+  // Standby gating: a sleeping crossbar stalls traversal until awake.
+  if (power_hook_ != nullptr && !power_hook_->xbar_ready()) {
+    activity_.record(0);
+    return;
+  }
+
+  const std::vector<int> grant = sw_alloc_.allocate(req);
+  int traversed = 0;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const int out_port = grant[static_cast<size_t>(p)];
+    if (out_port < 0) continue;
+    VcBuffer& vcb =
+        inputs_[static_cast<size_t>(p)].vc(chosen_vc[static_cast<size_t>(p)]);
+    Flit f = vcb.pop();
+    const bool tail = f.is_tail();
+    f.vc = vcb.out_vc;
+    ++f.hops;
+    out_flits_[static_cast<size_t>(out_port)]->send(f);
+    --credits_[static_cast<size_t>(out_port)][static_cast<size_t>(vcb.out_vc)];
+    // Return a credit for the slot just freed upstream.
+    if (out_credits_[static_cast<size_t>(p)] != nullptr) {
+      out_credits_[static_cast<size_t>(p)]->send(
+          Credit{chosen_vc[static_cast<size_t>(p)]});
+    }
+    ++events_.arbitrations;
+    ++traversed;
+    if (out_port != port(Dir::kLocal)) ++events_.link_flits;
+    if (tail) {
+      out_vc_owner_[static_cast<size_t>(vcb.out_port)]
+                   [static_cast<size_t>(vcb.out_vc)] = -1;
+      vcb.out_port = -1;
+      vcb.out_vc = -1;
+      vcb.state = vcb.empty() ? VcState::kIdle : VcState::kRouting;
+    }
+  }
+  events_.flits_sent = traversed;
+  activity_.record(traversed);
+}
+
+void Router::tick() {
+  events_ = RouterEvents{};
+  receive();
+  route_compute();
+  vc_allocate();
+  switch_traverse();
+  if (power_hook_ != nullptr) power_hook_->on_cycle(events_);
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,110 @@
+// router.hpp — input-queued virtual-channel wormhole router.
+//
+// Four logical stages per cycle, in the classic order:
+//   RC  — route compute for head flits at VC queue heads (XY),
+//   VA  — separable VC allocation (input round-robin, output matrix),
+//   SA  — separable switch allocation over ports,
+//   ST  — switch traversal onto the output channel, credit return.
+//
+// Credit-based flow control: a flit leaves only if the downstream VC
+// has a free slot; credits travel back on dedicated channels.  The
+// torus configuration uses dateline VC classes (lower half before the
+// wrap crossing, upper half after).
+//
+// The power hook lets core/noc_integration gate the crossbar: when the
+// attached sleep controller holds the switch in standby, ST stalls
+// until the wake-up latency is paid, exactly like the paper's
+// microarchitecture would.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/allocator.hpp"
+#include "noc/buffer.hpp"
+#include "noc/channel.hpp"
+#include "noc/config.hpp"
+#include "noc/crossbar_sw.hpp"
+
+namespace lain::noc {
+
+// Events the router reports each cycle (consumed by power models).
+struct RouterEvents {
+  int flits_received = 0;
+  int flits_sent = 0;       // crossbar traversals
+  int link_flits = 0;       // flits sent to non-local ports
+  int arbitrations = 0;
+  bool demand = false;      // any flit wanted the switch this cycle
+};
+
+// Interface used to gate the switch-traversal stage.
+class PowerHook {
+ public:
+  virtual ~PowerHook() = default;
+  // May the crossbar traverse flits this cycle?
+  virtual bool xbar_ready() = 0;
+  // Called at the end of every router cycle with the event counts.
+  virtual void on_cycle(const RouterEvents& ev) = 0;
+};
+
+class Router {
+ public:
+  Router(NodeId id, const SimConfig& cfg);
+
+  NodeId id() const { return id_; }
+
+  // Wiring (non-owning); all five ports must be connected before use.
+  void connect_input(Dir d, FlitChannel* flits_in, CreditChannel* credits_out);
+  void connect_output(Dir d, FlitChannel* flits_out, CreditChannel* credits_in);
+
+  void set_power_hook(PowerHook* hook) { power_hook_ = hook; }
+
+  // One simulation cycle.  Ejected flits (to the local port) are sent
+  // on the local output channel like any other port.
+  void tick();
+
+  const RouterEvents& last_events() const { return events_; }
+  const CrossbarActivity& activity() const { return activity_; }
+  int credits(int out_port, int vc) const {
+    return credits_.at(static_cast<size_t>(out_port))
+        .at(static_cast<size_t>(vc));
+  }
+  const InputPort& input(int port) const {
+    return inputs_.at(static_cast<size_t>(port));
+  }
+  // Total flits resident in this router's input buffers.
+  int occupancy() const;
+
+ private:
+  void receive();
+  void route_compute();
+  void vc_allocate();
+  void switch_traverse();
+  bool vc_admissible(int in_port, int in_vc, int out_port, int out_vc) const;
+
+  NodeId id_;
+  SimConfig cfg_;
+  RouteContext ctx_;
+
+  std::vector<InputPort> inputs_;
+  std::vector<FlitChannel*> in_flits_;
+  std::vector<CreditChannel*> out_credits_;
+  std::vector<FlitChannel*> out_flits_;
+  std::vector<CreditChannel*> in_credits_;
+
+  // credits_[port][vc]: free downstream slots.
+  std::vector<std::vector<int>> credits_;
+  // out_vc_owner_[port][vc]: owning (input port * vcs + vc), or -1.
+  std::vector<std::vector<int>> out_vc_owner_;
+
+  SeparableAllocator vc_alloc_;
+  SeparableAllocator sw_alloc_;
+  std::vector<RoundRobinArbiter> sa_vc_pick_;  // per-input VC selector
+
+  PowerHook* power_hook_ = nullptr;
+  RouterEvents events_;
+  CrossbarActivity activity_;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,32 @@
+#include "noc/stats.hpp"
+
+namespace lain::noc {
+
+double Histogram::mean() const {
+  if (n_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [v, c] : bins_) s += static_cast<double>(v) * c;
+  return s / static_cast<double>(n_);
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (n_ == 0) return 0;
+  const auto target = static_cast<std::int64_t>(q * static_cast<double>(n_));
+  std::int64_t seen = 0;
+  for (const auto& [v, c] : bins_) {
+    seen += c;
+    if (seen >= target) return v;
+  }
+  return bins_.rbegin()->first;
+}
+
+double Histogram::fraction_at_least(std::int64_t threshold) const {
+  if (n_ == 0) return 0.0;
+  std::int64_t above = 0;
+  for (const auto& [v, c] : bins_) {
+    if (v >= threshold) above += c;
+  }
+  return static_cast<double>(above) / static_cast<double>(n_);
+}
+
+}  // namespace lain::noc

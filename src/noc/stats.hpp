@@ -1,0 +1,77 @@
+// stats.hpp — measurement collection.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "noc/types.hpp"
+
+namespace lain::noc {
+
+// Streaming scalar statistics.
+class Accumulator {
+ public:
+  void add(double x) {
+    sum_ += x;
+    sum2_ += x * x;
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double variance() const {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    return sum2_ / static_cast<double>(n_) - m * m;
+  }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  double sum_ = 0.0, sum2_ = 0.0;
+  double min_ = 1e300, max_ = -1e300;
+  std::int64_t n_ = 0;
+};
+
+// Integer histogram (used for idle-run lengths, latencies).
+class Histogram {
+ public:
+  void add(std::int64_t value) { ++bins_[value]; ++n_; }
+  std::int64_t count() const { return n_; }
+  const std::map<std::int64_t, std::int64_t>& bins() const { return bins_; }
+  double mean() const;
+  // Smallest value v such that P[X <= v] >= q.
+  std::int64_t percentile(double q) const;
+  // Fraction of samples >= threshold.
+  double fraction_at_least(std::int64_t threshold) const;
+
+ private:
+  std::map<std::int64_t, std::int64_t> bins_;
+  std::int64_t n_ = 0;
+};
+
+// Network-level measurement results.
+struct SimStats {
+  std::int64_t packets_injected = 0;
+  std::int64_t packets_ejected = 0;
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_ejected = 0;
+  Cycle measured_cycles = 0;
+  int num_nodes = 0;
+  Accumulator packet_latency;   // creation -> tail ejection
+  Accumulator network_latency;  // injection -> tail ejection
+  Accumulator hops;
+  Histogram latency_hist;
+
+  double throughput_flits_per_node_cycle() const {
+    if (measured_cycles <= 0 || num_nodes <= 0) return 0.0;
+    return static_cast<double>(flits_ejected) /
+           (static_cast<double>(measured_cycles) * num_nodes);
+  }
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,94 @@
+#include "noc/topology.hpp"
+
+namespace lain::noc {
+
+Network::Network(const SimConfig& cfg) : cfg_(cfg) {
+  cfg.validate();
+  const int n = cfg.num_nodes();
+  routers_.reserve(static_cast<size_t>(n));
+  nics_.reserve(static_cast<size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    routers_.push_back(std::make_unique<Router>(i, cfg));
+    nics_.push_back(std::make_unique<Nic>(i, cfg));
+  }
+  wire_mesh();
+}
+
+Network::Link* Network::make_link(int latency) {
+  links_.push_back(std::make_unique<Link>(latency));
+  return links_.back().get();
+}
+
+void Network::wire_mesh() {
+  const RouteContext ctx = cfg_.route_context();
+  const bool torus = cfg_.topology == TopologyKind::kTorus;
+
+  // Local port: NIC <-> router, latency 1.
+  for (NodeId i = 0; i < cfg_.num_nodes(); ++i) {
+    Link* inj = make_link(1);  // NIC -> router (flits), router -> NIC credits
+    Link* ej = make_link(1);   // router -> NIC (flits), NIC -> router credits
+    routers_[static_cast<size_t>(i)]->connect_input(Dir::kLocal, &inj->flits,
+                                                    &inj->credits);
+    routers_[static_cast<size_t>(i)]->connect_output(Dir::kLocal, &ej->flits,
+                                                     &ej->credits);
+    nics_[static_cast<size_t>(i)]->connect(&inj->flits, &inj->credits,
+                                           &ej->flits, &ej->credits);
+  }
+
+  // Inter-router links: one directed link per (router, direction).
+  auto connect_pair = [&](NodeId from, Dir out_dir, NodeId to) {
+    Link* l = make_link(cfg_.link_latency);
+    routers_[static_cast<size_t>(from)]->connect_output(out_dir, &l->flits,
+                                                        &l->credits);
+    routers_[static_cast<size_t>(to)]->connect_input(opposite(out_dir),
+                                                     &l->flits, &l->credits);
+  };
+
+  for (int y = 0; y < cfg_.radix_y; ++y) {
+    for (int x = 0; x < cfg_.radix_x; ++x) {
+      const NodeId here = node_of(MeshCoord{x, y}, ctx);
+      // East.
+      if (x + 1 < cfg_.radix_x) {
+        connect_pair(here, Dir::kEast, node_of(MeshCoord{x + 1, y}, ctx));
+      } else if (torus) {
+        connect_pair(here, Dir::kEast, node_of(MeshCoord{0, y}, ctx));
+      }
+      // West.
+      if (x > 0) {
+        connect_pair(here, Dir::kWest, node_of(MeshCoord{x - 1, y}, ctx));
+      } else if (torus) {
+        connect_pair(here, Dir::kWest,
+                     node_of(MeshCoord{cfg_.radix_x - 1, y}, ctx));
+      }
+      // South.
+      if (y + 1 < cfg_.radix_y) {
+        connect_pair(here, Dir::kSouth, node_of(MeshCoord{x, y + 1}, ctx));
+      } else if (torus) {
+        connect_pair(here, Dir::kSouth, node_of(MeshCoord{x, 0}, ctx));
+      }
+      // North.
+      if (y > 0) {
+        connect_pair(here, Dir::kNorth, node_of(MeshCoord{x, y - 1}, ctx));
+      } else if (torus) {
+        connect_pair(here, Dir::kNorth,
+                     node_of(MeshCoord{x, cfg_.radix_y - 1}, ctx));
+      }
+    }
+  }
+}
+
+void Network::tick_channels() {
+  for (auto& l : links_) {
+    l->flits.tick();
+    l->credits.tick();
+  }
+}
+
+int Network::flits_in_flight() const {
+  int n = 0;
+  for (const auto& r : routers_) n += r->occupancy();
+  for (const auto& l : links_) n += l->flits.in_flight_count();
+  return n;
+}
+
+}  // namespace lain::noc

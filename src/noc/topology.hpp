@@ -1,0 +1,51 @@
+// topology.hpp — fabric construction: routers, NICs and channels
+// wired as a k-ary 2D mesh or torus.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+
+namespace lain::noc {
+
+class Network {
+ public:
+  explicit Network(const SimConfig& cfg);
+
+  int num_nodes() const { return cfg_.num_nodes(); }
+  Router& router(NodeId n) { return *routers_.at(static_cast<size_t>(n)); }
+  const Router& router(NodeId n) const {
+    return *routers_.at(static_cast<size_t>(n));
+  }
+  Nic& nic(NodeId n) { return *nics_.at(static_cast<size_t>(n)); }
+  const Nic& nic(NodeId n) const { return *nics_.at(static_cast<size_t>(n)); }
+
+  // Advances every channel pipeline by one cycle (call after all
+  // routers and NICs have ticked).
+  void tick_channels();
+
+  // Flits resident anywhere in the fabric (buffers + channels).
+  int flits_in_flight() const;
+
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  struct Link {
+    FlitChannel flits;
+    CreditChannel credits;
+    Link(int latency) : flits(latency), credits(latency) {}
+  };
+
+  SimConfig cfg_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  Link* make_link(int latency);
+  void wire_mesh();
+};
+
+}  // namespace lain::noc

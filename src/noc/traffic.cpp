@@ -1,0 +1,96 @@
+#include "noc/traffic.hpp"
+
+#include <stdexcept>
+
+namespace lain::noc {
+namespace {
+
+// Bit-reversal of the node index within ceil(log2(N)) bits.
+NodeId bit_reverse(NodeId id, int num_nodes) {
+  int bits = 0;
+  while ((1 << bits) < num_nodes) ++bits;
+  NodeId r = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (id & (1 << i)) r |= 1 << (bits - 1 - i);
+  }
+  return r % num_nodes;
+}
+
+}  // namespace
+
+NodeId pattern_destination(TrafficPattern pattern, NodeId src,
+                           const SimConfig& cfg, Rng& rng) {
+  const RouteContext ctx = cfg.route_context();
+  const int n = cfg.num_nodes();
+  const MeshCoord c = coord_of(src, ctx);
+  switch (pattern) {
+    case TrafficPattern::kUniform: {
+      return static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(n)));
+    }
+    case TrafficPattern::kTranspose: {
+      // Requires a square fabric; validated by the generator ctor.
+      return node_of(MeshCoord{c.y, c.x}, ctx);
+    }
+    case TrafficPattern::kBitComplement: {
+      return node_of(MeshCoord{cfg.radix_x - 1 - c.x, cfg.radix_y - 1 - c.y},
+                     ctx);
+    }
+    case TrafficPattern::kBitReverse: {
+      return bit_reverse(src, n);
+    }
+    case TrafficPattern::kHotspot: {
+      if (rng.bernoulli(cfg.hotspot_fraction)) return cfg.hotspot_node;
+      return static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(n)));
+    }
+    case TrafficPattern::kTornado: {
+      // Half-way around in X (classic adversarial torus pattern).
+      return node_of(
+          MeshCoord{(c.x + (cfg.radix_x - 1) / 2) % cfg.radix_x, c.y}, ctx);
+    }
+    case TrafficPattern::kNeighbor: {
+      return node_of(MeshCoord{(c.x + 1) % cfg.radix_x, c.y}, ctx);
+    }
+  }
+  throw std::invalid_argument("unknown traffic pattern");
+}
+
+TrafficGenerator::TrafficGenerator(const SimConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  cfg.validate();
+  if (cfg.pattern == TrafficPattern::kTranspose &&
+      cfg.radix_x != cfg.radix_y) {
+    throw std::invalid_argument("transpose traffic needs a square fabric");
+  }
+  modulated_ = cfg.burst_duty < 1.0;
+  // ON-state rate scaled to preserve the long-run average.
+  packet_rate_ =
+      cfg.injection_rate / cfg.packet_length_flits / cfg.burst_duty;
+  on_.assign(static_cast<size_t>(cfg.num_nodes()), true);
+  // Geometric dwell times: mean ON dwell = burst_on_mean_cycles, and
+  // the OFF dwell follows from the duty cycle.
+  p_off_ = 1.0 / cfg.burst_on_mean_cycles;
+  const double off_mean =
+      cfg.burst_on_mean_cycles * (1.0 - cfg.burst_duty) / cfg.burst_duty;
+  p_on_ = off_mean > 0.0 ? 1.0 / off_mean : 1.0;
+}
+
+bool TrafficGenerator::is_on(NodeId src) const {
+  return on_.at(static_cast<size_t>(src));
+}
+
+NodeId TrafficGenerator::maybe_generate(NodeId src) {
+  if (modulated_) {
+    auto state = on_.at(static_cast<size_t>(src));
+    if (state ? rng_.bernoulli(p_off_) : rng_.bernoulli(p_on_)) {
+      state = !state;
+      on_[static_cast<size_t>(src)] = state;
+    }
+    if (!state) return kInvalidNode;
+  }
+  if (!rng_.bernoulli(packet_rate_)) return kInvalidNode;
+  NodeId dst = pattern_destination(cfg_.pattern, src, cfg_, rng_);
+  if (dst == src) return kInvalidNode;  // no self traffic
+  return dst;
+}
+
+}  // namespace lain::noc

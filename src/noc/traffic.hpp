@@ -1,0 +1,46 @@
+// traffic.hpp — synthetic traffic generation.
+//
+// Bernoulli packet injection per node per cycle; destination chosen by
+// the configured spatial pattern (the standard BookSim set).
+
+#pragma once
+
+#include "noc/config.hpp"
+#include "noc/rng.hpp"
+
+namespace lain::noc {
+
+// Destination for a packet sourced at `src` under `pattern`.  May
+// return src for patterns that map a node to itself (e.g. transpose of
+// a diagonal node); callers typically skip self-addressed packets.
+NodeId pattern_destination(TrafficPattern pattern, NodeId src,
+                           const SimConfig& cfg, Rng& rng);
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const SimConfig& cfg);
+
+  // Should node `src` inject a packet this cycle, and to where?
+  // Returns kInvalidNode when no packet is generated.  With burst
+  // modulation enabled (cfg.burst_duty < 1) each node runs an
+  // independent two-state on-off process; the ON-state rate is scaled
+  // so the long-run average matches cfg.injection_rate.
+  NodeId maybe_generate(NodeId src);
+
+  // Whether `src` is currently in the ON phase (always true without
+  // modulation).  Exposed for tests.
+  bool is_on(NodeId src) const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  SimConfig cfg_;
+  Rng rng_;
+  double packet_rate_;  // packets / node / cycle in the ON state
+  bool modulated_;
+  std::vector<bool> on_;  // per-node burst state
+  double p_off_;          // P[ON -> OFF] per cycle
+  double p_on_;           // P[OFF -> ON] per cycle
+};
+
+}  // namespace lain::noc

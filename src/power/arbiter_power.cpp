@@ -1,0 +1,36 @@
+#include "power/arbiter_power.hpp"
+
+#include <stdexcept>
+
+#include "tech/itrs.hpp"
+#include "tech/mosfet.hpp"
+
+namespace lain::power {
+
+ArbiterPowerModel characterize_arbiter(const xbar::CrossbarSpec& spec,
+                                       int requesters) {
+  spec.validate();
+  if (requesters < 1) throw std::invalid_argument("requesters must be >= 1");
+  const tech::TechNode& node = tech::itrs_node(spec.node);
+  const tech::DeviceModel model(node, spec.temp_k);
+  const double vdd = model.vdd_v();
+
+  const tech::Mosfet unit_n{tech::DeviceType::kNmos, tech::VtClass::kNominal,
+                            0.6e-6};
+  const tech::Mosfet unit_p{tech::DeviceType::kPmos, tech::VtClass::kNominal,
+                            0.9e-6};
+  const double gate_c = model.gate_cap_f(unit_n) + model.gate_cap_f(unit_p);
+  const double gate_leak = model.ioff_a(unit_n) + model.ioff_a(unit_p);
+
+  // Matrix arbiter: R(R-1)/2 priority flops (~10 gates each) plus R
+  // request/grant gates (~4 gates each).
+  const int state_bits = requesters * (requesters - 1) / 2;
+  const double gates = state_bits * 10.0 + requesters * 4.0;
+
+  ArbiterPowerModel m;
+  m.energy_per_arbitration_j = 0.25 * gates * gate_c * vdd * vdd;
+  m.leakage_w = 0.5 * gates * gate_leak * vdd;
+  return m;
+}
+
+}  // namespace lain::power

@@ -1,0 +1,22 @@
+// arbiter_power.hpp — switch/VC arbiter power.
+//
+// Matrix arbiter model (Orion-style): R*(R-1)/2 state bits, R grant
+// gates; per-arbitration switched capacitance scales with the number
+// of requesters.
+
+#pragma once
+
+#include "xbar/spec.hpp"
+
+namespace lain::power {
+
+struct ArbiterPowerModel {
+  double energy_per_arbitration_j = 0.0;
+  double leakage_w = 0.0;
+};
+
+// One R-requester matrix arbiter at the crossbar's operating point.
+ArbiterPowerModel characterize_arbiter(const xbar::CrossbarSpec& spec,
+                                       int requesters);
+
+}  // namespace lain::power

@@ -1,0 +1,36 @@
+// buffer_power.hpp — router input-buffer power (ref [1] substrate).
+//
+// The paper's introduction leans on Chen & Peh (ISLPED'03) for buffer
+// leakage techniques and focuses its own contribution on the crossbar.
+// To evaluate whole-router power in the NoC experiments we still need
+// a buffer model: a register-file FIFO whose read/write energy and
+// leakage scale with depth x width, built from the same device model
+// as the crossbar (bitcell = 6T-equivalent width, wordline/bitline
+// switched capacitance).
+
+#pragma once
+
+#include "tech/mosfet.hpp"
+#include "xbar/spec.hpp"
+
+namespace lain::power {
+
+struct BufferParams {
+  int depth_flits = 4;
+  int width_bits = 128;
+  int vcs = 1;  // virtual channels (each with its own FIFO)
+};
+
+struct BufferPowerModel {
+  double read_energy_j = 0.0;   // per flit read
+  double write_energy_j = 0.0;  // per flit write
+  double leakage_w = 0.0;       // whole buffer, active
+  double standby_leakage_w = 0.0;  // with Chen&Peh-style gating applied
+};
+
+// Characterizes one input port's buffer bank at the crossbar's
+// technology operating point.
+BufferPowerModel characterize_buffer(const xbar::CrossbarSpec& spec,
+                                     const BufferParams& params);
+
+}  // namespace lain::power

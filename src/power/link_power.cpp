@@ -1,0 +1,44 @@
+#include "power/link_power.hpp"
+
+#include <stdexcept>
+
+#include "circuit/energy.hpp"
+#include "tech/bptm.hpp"
+#include "tech/itrs.hpp"
+#include "tech/mosfet.hpp"
+
+namespace lain::power {
+
+LinkPowerModel characterize_link(const xbar::CrossbarSpec& spec,
+                                 const LinkParams& params) {
+  spec.validate();
+  if (params.length_m <= 0.0 || params.width_bits < 1 || params.repeaters < 1) {
+    throw std::invalid_argument("bad link parameters");
+  }
+  const tech::TechNode& node = tech::itrs_node(spec.node);
+  const tech::DeviceModel model(node, spec.temp_k);
+  const tech::WireRC rc = tech::wire_rc(node, tech::WireTier::kGlobal);
+  const double vdd = model.vdd_v();
+
+  const tech::Mosfet rep_n{tech::DeviceType::kNmos, tech::VtClass::kNominal,
+                           params.repeater_wn_m};
+  const tech::Mosfet rep_p{tech::DeviceType::kPmos, tech::VtClass::kNominal,
+                           1.8 * params.repeater_wn_m};
+
+  const double wire_cap = rc.c_per_m() * params.length_m;
+  const double rep_cap = params.repeaters * (model.gate_cap_f(rep_n) +
+                                             model.gate_cap_f(rep_p) +
+                                             model.drain_cap_f(rep_n) +
+                                             model.drain_cap_f(rep_p));
+  const double alpha = circuit::random_alpha01(spec.static_probability);
+
+  LinkPowerModel m;
+  m.energy_per_flit_j =
+      params.width_bits * (wire_cap + rep_cap) * vdd * vdd * alpha;
+  // Per repeater one device leaks (depending on the parked polarity).
+  m.leakage_w = params.width_bits * params.repeaters * 0.5 *
+                (model.ioff_a(rep_n) + model.ioff_a(rep_p)) * vdd;
+  return m;
+}
+
+}  // namespace lain::power

@@ -1,0 +1,28 @@
+// link_power.hpp — inter-router link power.
+//
+// Global-tier repeated wires of a given hop length; energy per flit =
+// switched wire + repeater capacitance at the workload's transition
+// activity, leakage from the repeater chain.
+
+#pragma once
+
+#include "xbar/spec.hpp"
+
+namespace lain::power {
+
+struct LinkParams {
+  double length_m = 1.0e-3;  // one mesh hop (~tile edge)
+  int width_bits = 128;
+  int repeaters = 4;
+  double repeater_wn_m = 4.0e-6;
+};
+
+struct LinkPowerModel {
+  double energy_per_flit_j = 0.0;  // at alpha01 = p(1-p) with p = 0.5
+  double leakage_w = 0.0;
+};
+
+LinkPowerModel characterize_link(const xbar::CrossbarSpec& spec,
+                                 const LinkParams& params);
+
+}  // namespace lain::power

@@ -1,0 +1,119 @@
+#include "power/report.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+
+namespace lain::power {
+namespace {
+
+std::string row_label(const char* label) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-38s", label);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_penalty(double penalty_fraction) {
+  if (penalty_fraction <= 1e-9) return "No";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", penalty_fraction * 100.0);
+  return buf;
+}
+
+std::string format_summary(const xbar::Characterization& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-5s HL=%6.2fps LH=%6.2fps active=%7.2fmW standby=%7.2fmW "
+                "total=%7.2fmW minIdle=%d",
+                scheme_name(c.scheme).data(), to_ps(c.delay_hl_s),
+                to_ps(c.delay_lh_s), to_mW(c.active_leakage_w),
+                to_mW(c.standby_leakage_w), to_mW(c.total_power_w),
+                c.min_idle_cycles);
+  return buf;
+}
+
+std::string format_table1(const std::vector<xbar::Characterization>& chars) {
+  if (chars.empty() || chars.front().scheme != xbar::Scheme::kSC) {
+    throw std::invalid_argument("first characterization must be SC");
+  }
+  const xbar::Characterization& base = chars.front();
+  std::string out;
+  char buf[160];
+
+  out += row_label("Scheme");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10s", scheme_name(c.scheme).data());
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("High to Low delay time (ps)");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10.2f", to_ps(c.delay_hl_s));
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Low to High / Precharge delay time (ps)");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10.2f", to_ps(c.delay_lh_s));
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Active Leakage Savings");
+  for (const auto& c : chars) {
+    if (c.scheme == xbar::Scheme::kSC) {
+      std::snprintf(buf, sizeof(buf), "%10s", "-");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%9.2f%%",
+                    100.0 * xbar::relative_saving(base.active_leakage_w,
+                                                  c.active_leakage_w));
+    }
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Standby Leakage Savings");
+  for (const auto& c : chars) {
+    if (c.scheme == xbar::Scheme::kSC) {
+      std::snprintf(buf, sizeof(buf), "%10s", "-");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%9.2f%%",
+                    100.0 * xbar::relative_saving(base.standby_leakage_w,
+                                                  c.standby_leakage_w));
+    }
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Minimum Idle Time - 3GHz (cycles)");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10d", c.min_idle_cycles);
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Total Power - 3GHz (mW)");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10.2f", to_mW(c.total_power_w));
+    out += buf;
+  }
+  out += '\n';
+
+  out += row_label("Delay Penalty");
+  for (const auto& c : chars) {
+    std::snprintf(buf, sizeof(buf), "%10s",
+                  (c.scheme == xbar::Scheme::kSC)
+                      ? "-"
+                      : format_penalty(xbar::delay_penalty(base, c)).c_str());
+    out += buf;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace lain::power

@@ -1,0 +1,22 @@
+// report.hpp — formatted power/characterization reports.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xbar/characterize.hpp"
+
+namespace lain::power {
+
+// Renders the paper's Table 1 (all seven rows, five columns) from a
+// set of characterizations.  The first entry must be the SC baseline.
+std::string format_table1(const std::vector<xbar::Characterization>& chars);
+
+// One-line summary for a scheme.
+std::string format_summary(const xbar::Characterization& c);
+
+// Helper shared by benches: "No" for zero penalty else "x.xx%".
+std::string format_penalty(double penalty_fraction);
+
+}  // namespace lain::power

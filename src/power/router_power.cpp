@@ -1,0 +1,38 @@
+#include "power/router_power.hpp"
+
+namespace lain::power {
+
+RouterPower::RouterPower(const RouterPowerConfig& cfg,
+                         const xbar::Characterization& xbar_chars)
+    : cfg_(cfg),
+      xbar_(cfg.xbar_spec, xbar_chars, cfg.enable_gating),
+      buffer_model_(characterize_buffer(cfg.xbar_spec, cfg.buffer)),
+      arbiter_model_(characterize_arbiter(cfg.xbar_spec, cfg.xbar_spec.ports)),
+      link_model_(characterize_link(cfg.xbar_spec, cfg.link)) {}
+
+ActivityState RouterPower::tick(const RouterCycleEvents& ev) {
+  ++cycles_;
+  const double cycle_s = 1.0 / cfg_.xbar_spec.freq_hz;
+  buffer_energy_j_ += ev.buffer_writes * buffer_model_.write_energy_j +
+                      ev.buffer_reads * buffer_model_.read_energy_j +
+                      cfg_.xbar_spec.ports * buffer_model_.leakage_w * cycle_s;
+  arbiter_energy_j_ +=
+      ev.arbitrations * arbiter_model_.energy_per_arbitration_j +
+      arbiter_model_.leakage_w * cycle_s;
+  link_energy_j_ += ev.link_flits * link_model_.energy_per_flit_j +
+                    cfg_.xbar_spec.ports * link_model_.leakage_w * cycle_s;
+  return xbar_.tick(ev.xbar_traversals);
+}
+
+double RouterPower::total_energy_j() const {
+  return buffer_energy_j_ + arbiter_energy_j_ + link_energy_j_ +
+         xbar_.total_energy_j();
+}
+
+double RouterPower::average_power_w() const {
+  if (cycles_ == 0) return 0.0;
+  return total_energy_j() * cfg_.xbar_spec.freq_hz /
+         static_cast<double>(cycles_);
+}
+
+}  // namespace lain::power

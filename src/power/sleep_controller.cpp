@@ -1,0 +1,80 @@
+#include "power/sleep_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lain::power {
+
+int GatedBlockCosts::min_idle_cycles() const {
+  const double saving_per_cycle = (idle_power_w - standby_power_w) / freq_hz;
+  if (saving_per_cycle <= 0.0) return 999;
+  const double penalty = entry_energy_j + exit_energy_j;
+  return std::max(1, static_cast<int>(std::ceil(penalty / saving_per_cycle)));
+}
+
+SleepController::SleepController(const SleepPolicy& policy,
+                                 const GatedBlockCosts& costs)
+    : policy_(policy), costs_(costs) {
+  if (policy.idle_threshold_cycles < 1) {
+    throw std::invalid_argument("idle threshold must be >= 1");
+  }
+  if (policy.wakeup_latency_cycles < 0) {
+    throw std::invalid_argument("wakeup latency must be >= 0");
+  }
+  if (costs.freq_hz <= 0.0) {
+    throw std::invalid_argument("frequency must be positive");
+  }
+}
+
+ActivityState SleepController::tick(bool demand) {
+  ++cycles_;
+  const double cycle_s = 1.0 / costs_.freq_hz;
+  // A never-gated block leaks idle power whenever it is not in use;
+  // while in use its power is billed by the dynamic model, so the
+  // reference tracks idle leakage only.
+  if (!demand) ungated_reference_j_ += costs_.idle_power_w * cycle_s;
+
+  if (gated_) {
+    ++standby_cycles_;
+    leakage_energy_j_ += costs_.standby_power_w * cycle_s;
+    if (demand) {
+      if (wake_stall_ == 0) wake_stall_ = policy_.wakeup_latency_cycles;
+      --wake_stall_;
+      if (wake_stall_ <= 0) {
+        gated_ = false;
+        wake_stall_ = 0;
+        idle_run_ = 0;
+        transition_energy_j_ += costs_.exit_energy_j;
+        ++transitions_;
+      }
+    }
+    return ActivityState::kStandby;
+  }
+
+  if (demand) {
+    idle_run_ = 0;
+    return ActivityState::kActive;
+  }
+
+  ++idle_run_;
+  leakage_energy_j_ += costs_.idle_power_w * cycle_s;
+  if (policy_.enabled && idle_run_ >= policy_.idle_threshold_cycles) {
+    gated_ = true;
+    idle_run_ = 0;
+    transition_energy_j_ += costs_.entry_energy_j;
+    ++transitions_;
+  }
+  return ActivityState::kIdle;
+}
+
+SleepPolicy breakeven_policy(const GatedBlockCosts& costs,
+                             int wakeup_latency_cycles) {
+  SleepPolicy p;
+  p.idle_threshold_cycles = std::max(1, costs.min_idle_cycles());
+  // A block whose gating never pays off keeps the policy disabled.
+  if (costs.min_idle_cycles() >= 999) p.enabled = false;
+  p.wakeup_latency_cycles = wakeup_latency_cycles;
+  return p;
+}
+
+}  // namespace lain::power

@@ -1,0 +1,22 @@
+// state.hpp — activity states of a gated circuit block.
+
+#pragma once
+
+namespace lain::power {
+
+enum class ActivityState {
+  kActive,   // transferring data this cycle
+  kIdle,     // no traffic, clocks running, not gated
+  kStandby,  // sleep asserted (parked, minimum-leakage state)
+};
+
+constexpr const char* activity_name(ActivityState s) {
+  switch (s) {
+    case ActivityState::kActive: return "active";
+    case ActivityState::kIdle: return "idle";
+    case ActivityState::kStandby: return "standby";
+  }
+  return "?";
+}
+
+}  // namespace lain::power

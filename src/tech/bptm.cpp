@@ -1,0 +1,59 @@
+#include "tech/bptm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tech/units.hpp"
+
+namespace lain::tech {
+
+double wire_resistance_per_m(const WireGeometry& g) {
+  if (g.width_m <= 0.0 || g.thickness_m <= 0.0) {
+    throw std::invalid_argument("wire geometry must have positive width/thickness");
+  }
+  return g.rho_ohm_m / (g.width_m * g.thickness_m);
+}
+
+double wire_ground_cap_per_m(const WireGeometry& g) {
+  if (g.ild_thickness_m <= 0.0 || g.spacing_m <= 0.0) {
+    throw std::invalid_argument("wire geometry must have positive ILD/spacing");
+  }
+  const double eps = g.k_ild * phys::kEps0;
+  const double w = g.width_m;
+  const double s = g.spacing_m;
+  const double t = g.thickness_m;
+  const double h = g.ild_thickness_m;
+  const double area = w / h;
+  const double fringe = 2.04 * std::pow(s / (s + 0.54 * h), 1.77) *
+                        std::pow(t / (t + 4.53 * h), 0.07);
+  // x2: plate above and plate below (sandwiched signal layer).
+  return 2.0 * eps * (area + fringe);
+}
+
+double wire_coupling_cap_per_m(const WireGeometry& g) {
+  if (g.ild_thickness_m <= 0.0 || g.spacing_m <= 0.0) {
+    throw std::invalid_argument("wire geometry must have positive ILD/spacing");
+  }
+  const double eps = g.k_ild * phys::kEps0;
+  const double w = g.width_m;
+  const double s = g.spacing_m;
+  const double t = g.thickness_m;
+  const double h = g.ild_thickness_m;
+  const double parallel = 1.14 * (t / s) * std::exp(-4.0 * s / (s + 8.01 * h));
+  const double fringe = 2.37 * std::pow(w / (w + 0.31 * s), 0.28) *
+                        std::pow(h / (h + 8.96 * s), 0.76) *
+                        std::exp(-2.0 * s / (s + 6.0 * h));
+  // x2: neighbour on each side.
+  return 2.0 * eps * (parallel + fringe);
+}
+
+WireRC wire_rc(const TechNode& node, WireTier tier) {
+  const WireGeometry& g = node.tier(tier);
+  return WireRC{
+      .r_per_m = wire_resistance_per_m(g),
+      .cg_per_m = wire_ground_cap_per_m(g),
+      .cc_per_m = wire_coupling_cap_per_m(g),
+  };
+}
+
+}  // namespace lain::tech

@@ -1,0 +1,48 @@
+// bptm.hpp — BPTM-style predictive interconnect R/C model.
+//
+// The paper predicts wire resistance and capacitance with the Berkeley
+// Predictive Technology Model [4].  BPTM distributes closed-form,
+// geometry-driven expressions (area + fringe + coupling capacitance,
+// resistivity with barrier/scattering) fitted to field-solver data.
+// We implement the same functional forms; the capacitance expression
+// follows the widely used empirical fit distributed with BPTM
+// (Wong/Cao et al.), with ground and coupling components.
+//
+// Outputs are per-unit-length values; the RC-tree module turns them
+// into distributed pi models.
+
+#pragma once
+
+#include "tech/itrs.hpp"
+
+namespace lain::tech {
+
+// Per-unit-length electricals of a wire on a given tier.
+struct WireRC {
+  double r_per_m = 0.0;   // ohm / m
+  double cg_per_m = 0.0;  // ground capacitance, F / m (both plates)
+  double cc_per_m = 0.0;  // coupling capacitance to BOTH neighbours, F / m
+
+  // Total switched capacitance per meter assuming neighbours quiet
+  // (Miller factor 1).  Crosstalk-aware callers may scale cc by the
+  // Miller factor of the transition pattern.
+  constexpr double c_per_m() const { return cg_per_m + cc_per_m; }
+};
+
+// Sheet/line resistance from geometry: rho_eff / (w * t).
+double wire_resistance_per_m(const WireGeometry& g);
+
+// BPTM-style empirical capacitance (per meter).
+//   Cg = eps * [ w/h + 2.04 (s/(s+0.54 h))^1.77 (t/(t+4.53 h))^0.07 ]
+//   Cc = eps * [ 1.14 (t/s) exp(-4 s/(s+8.01 h))
+//              + 2.37 (w/(w+0.31 s))^0.28 (h/(h+8.96 s))^0.76
+//                * exp(-2 s/(s+6 h)) ]
+// Cg counts both top and bottom plates (x2); Cc counts both lateral
+// neighbours (x2).
+double wire_ground_cap_per_m(const WireGeometry& g);
+double wire_coupling_cap_per_m(const WireGeometry& g);
+
+// Convenience bundle for a tier of a node.
+WireRC wire_rc(const TechNode& node, WireTier tier);
+
+}  // namespace lain::tech

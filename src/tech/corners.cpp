@@ -1,0 +1,34 @@
+#include "tech/corners.hpp"
+
+#include <stdexcept>
+
+namespace lain::tech {
+
+DeviceModel make_device_model(const TechNode& node, const OperatingPoint& op) {
+  double vth_shift = 0.0;
+  double drive_scale = 1.0;
+  switch (op.corner) {
+    case Corner::kTT:
+      break;
+    case Corner::kFF:
+      vth_shift = -0.040;
+      drive_scale = 1.08;
+      break;
+    case Corner::kSS:
+      vth_shift = +0.040;
+      drive_scale = 0.92;
+      break;
+  }
+  return DeviceModel(node, op.temp_k, vth_shift, drive_scale, op.vdd_scale);
+}
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTT: return "TT";
+    case Corner::kFF: return "FF";
+    case Corner::kSS: return "SS";
+  }
+  throw std::invalid_argument("unknown corner");
+}
+
+}  // namespace lain::tech

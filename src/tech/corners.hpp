@@ -1,0 +1,32 @@
+// corners.hpp — process corner and temperature scaling.
+//
+// Leakage studies are meaningful only at a stated (corner, temperature)
+// point; the paper reports worst-case-power style numbers, which we
+// take as TT / 110 C junction.  Corners shift threshold voltage and
+// drive strength; temperature enters the device model directly.
+
+#pragma once
+
+#include "tech/itrs.hpp"
+#include "tech/mosfet.hpp"
+
+namespace lain::tech {
+
+enum class Corner { kTT, kFF, kSS };
+
+struct OperatingPoint {
+  Corner corner = Corner::kTT;
+  double temp_k = 383.0;   // 110 C junction, leakage-analysis standard
+  double vdd_scale = 1.0;  // supply scaling (e.g. 0.9 for low-power mode)
+};
+
+// Builds a DeviceModel for `node` at the given operating point.
+// FF: Vth -40 mV, +8 % drive; SS: Vth +40 mV, -8 % drive (classic
+// 3-sigma corner shifts).  Implemented by adjusting the node copy that
+// seeds the model plus a post-hoc parameter tweak.
+DeviceModel make_device_model(const TechNode& node, const OperatingPoint& op);
+
+// Human-readable corner name.
+const char* corner_name(Corner corner);
+
+}  // namespace lain::tech

@@ -1,0 +1,84 @@
+#include "tech/itrs.hpp"
+
+#include "tech/units.hpp"
+
+namespace lain::tech {
+namespace {
+
+using namespace lain::units;
+
+// Roadmap-class interconnect geometry, ITRS 2003/2004 projections as
+// commonly used by BPTM-era NoC power papers (Orion, Chen&Peh ISLPED'03,
+// this paper).  Conventions:
+//   * intermediate tier pitch = 2x minimum half-pitch of the node,
+//   * aspect ratio grows 1.7 -> 2.0 towards 45 nm,
+//   * effective resistivity includes barrier + surface scattering and
+//     therefore exceeds bulk Cu (1.68 uOhm-cm),
+//   * k_ild falls with the node per the low-k roadmap.
+//
+// All three tiers are populated so the floorplan model can route the
+// crossbar on the intermediate tier and links on the global tier.
+
+constexpr TechNode kNode90 = {
+    /*name=*/"90nm",
+    /*feature_m=*/90.0_nm,
+    /*vdd_v=*/1.2,
+    /*tox_m=*/2.0_nm,
+    /*lgate_m=*/50.0_nm,
+    /*temp_k=*/383.0,  // 110 C junction, matching leakage-study practice
+    /*local=*/{214.0_nm, 214.0_nm, 364.0_nm, 370.0_nm, 3.3, 2.53e-8},
+    /*intermediate=*/{275.0_nm, 275.0_nm, 468.0_nm, 480.0_nm, 3.3, 2.43e-8},
+    /*global=*/{410.0_nm, 410.0_nm, 830.0_nm, 850.0_nm, 3.3, 2.35e-8},
+};
+
+constexpr TechNode kNode65 = {
+    /*name=*/"65nm",
+    /*feature_m=*/65.0_nm,
+    /*vdd_v=*/1.1,
+    /*tox_m=*/1.7_nm,
+    /*lgate_m=*/35.0_nm,
+    /*temp_k=*/383.0,
+    /*local=*/{152.0_nm, 152.0_nm, 274.0_nm, 280.0_nm, 3.0, 2.73e-8},
+    /*intermediate=*/{195.0_nm, 195.0_nm, 351.0_nm, 365.0_nm, 3.0, 2.61e-8},
+    /*global=*/{290.0_nm, 290.0_nm, 609.0_nm, 620.0_nm, 3.0, 2.48e-8},
+};
+
+// The paper's node.  Intermediate pitch 280 nm (w = s = 140 nm),
+// AR 2.0, low-k ILD (k = 2.7), effective rho 3.0 uOhm-cm — 45 nm-node
+// projections consistent with ITRS-2004 and the BPTM interconnect page.
+constexpr TechNode kNode45 = {
+    /*name=*/"45nm",
+    /*feature_m=*/45.0_nm,
+    /*vdd_v=*/1.0,
+    /*tox_m=*/1.4_nm,
+    /*lgate_m=*/25.0_nm,
+    /*temp_k=*/383.0,
+    /*local=*/{105.0_nm, 105.0_nm, 199.0_nm, 205.0_nm, 2.7, 3.31e-8},
+    /*intermediate=*/{140.0_nm, 140.0_nm, 280.0_nm, 290.0_nm, 2.7, 3.01e-8},
+    /*global=*/{205.0_nm, 205.0_nm, 451.0_nm, 460.0_nm, 2.7, 2.78e-8},
+};
+
+}  // namespace
+
+const TechNode& itrs_node(Node node) {
+  switch (node) {
+    case Node::k90nm: return kNode90;
+    case Node::k65nm: return kNode65;
+    case Node::k45nm: return kNode45;
+  }
+  throw std::invalid_argument("unknown technology node");
+}
+
+const TechNode& itrs_node(std::string_view name) {
+  if (name == "90nm") return kNode90;
+  if (name == "65nm") return kNode65;
+  if (name == "45nm") return kNode45;
+  throw std::invalid_argument("unknown technology node name: " +
+                              std::string(name));
+}
+
+std::array<Node, 3> all_nodes() {
+  return {Node::k90nm, Node::k65nm, Node::k45nm};
+}
+
+}  // namespace lain::tech

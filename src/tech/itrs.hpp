@@ -1,0 +1,74 @@
+// itrs.hpp — ITRS-roadmap technology node parameters.
+//
+// The paper (Section 3) takes its interconnect geometry — wire pitch,
+// spacing, aspect ratio and dielectric parameters — from the ITRS
+// roadmap [3] and device/wire electricals from the Berkeley Predictive
+// Technology Model (BPTM) [4], at the 45 nm node.
+//
+// This module transcribes roadmap-class numbers for the 90/65/45 nm
+// nodes so the rest of the library can be swept across nodes.  The
+// 45 nm entry is the one used for Table 1.
+
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string_view>
+
+namespace lain::tech {
+
+// Interconnect tier.  Crossbar wires are routed on the intermediate
+// tier (the paper's crossbar spans ~100 um — too long for local M1,
+// too short to justify fat global wires).
+enum class WireTier { kLocal, kIntermediate, kGlobal };
+
+// Geometry of one wire tier (all lengths in meters).
+struct WireGeometry {
+  double width_m = 0.0;       // drawn width
+  double spacing_m = 0.0;     // edge-to-edge spacing to neighbours
+  double thickness_m = 0.0;   // metal thickness (width * aspect ratio)
+  double ild_thickness_m = 0.0;  // dielectric height to the plane below
+  double k_ild = 0.0;         // relative permittivity of the ILD
+  double rho_ohm_m = 0.0;     // effective resistivity (incl. barrier/scattering)
+
+  constexpr double pitch_m() const { return width_m + spacing_m; }
+  constexpr double aspect_ratio() const { return thickness_m / width_m; }
+};
+
+// One ITRS technology node.
+struct TechNode {
+  std::string_view name;      // e.g. "45nm"
+  double feature_m = 0.0;     // nominal feature size
+  double vdd_v = 0.0;         // nominal supply
+  double tox_m = 0.0;         // equivalent gate-oxide thickness
+  double lgate_m = 0.0;       // physical gate length
+  double temp_k = 0.0;        // nominal operating (junction) temperature
+  WireGeometry local;
+  WireGeometry intermediate;
+  WireGeometry global;
+
+  const WireGeometry& tier(WireTier t) const {
+    switch (t) {
+      case WireTier::kLocal: return local;
+      case WireTier::kIntermediate: return intermediate;
+      case WireTier::kGlobal: return global;
+    }
+    throw std::invalid_argument("unknown wire tier");
+  }
+};
+
+// Nodes available in the table.
+enum class Node { k90nm, k65nm, k45nm };
+
+// Returns the roadmap entry for `node`.  Values are documented in
+// itrs.cpp with their provenance (ITRS 2003/2004 interconnect chapter
+// projections as used by BPTM-era papers).
+const TechNode& itrs_node(Node node);
+
+// Lookup by name ("90nm" | "65nm" | "45nm"); throws std::invalid_argument.
+const TechNode& itrs_node(std::string_view name);
+
+// All nodes, useful for sweeps.
+std::array<Node, 3> all_nodes();
+
+}  // namespace lain::tech

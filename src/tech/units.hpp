@@ -1,0 +1,95 @@
+// units.hpp — unit literals and conversion helpers.
+//
+// All quantities inside the library are stored in base SI units
+// (meters, seconds, ohms, farads, volts, amperes, watts, joules,
+// kelvin).  Variable names carry the unit when a bare double is used
+// (e.g. `length_m`, `cap_f`).  These literals make call sites legible:
+//
+//   double w = 140.0_nm;        // meters
+//   double d = 61.4_ps;         // seconds
+//   double c = 0.19_fF;         // farads
+
+#pragma once
+
+namespace lain::units {
+
+// --- length -----------------------------------------------------------
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_mm(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mm(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- time --------------------------------------------------------------
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+// --- capacitance ---------------------------------------------------------
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- resistance ----------------------------------------------------------
+constexpr double operator""_ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kohm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kohm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+
+// --- voltage / current / power / energy -----------------------------------
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_mW(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mW(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uW(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uW(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fJ(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pJ(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- frequency -------------------------------------------------------------
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+}  // namespace lain::units
+
+namespace lain {
+
+// Readback helpers for reports (value in SI -> display unit).
+constexpr double to_ps(double seconds) { return seconds * 1e12; }
+constexpr double to_ns(double seconds) { return seconds * 1e9; }
+constexpr double to_fF(double farads) { return farads * 1e15; }
+constexpr double to_um(double meters) { return meters * 1e6; }
+constexpr double to_mW(double watts) { return watts * 1e3; }
+constexpr double to_uW(double watts) { return watts * 1e6; }
+constexpr double to_nA(double amperes) { return amperes * 1e9; }
+constexpr double to_uA(double amperes) { return amperes * 1e6; }
+constexpr double to_fJ(double joules) { return joules * 1e15; }
+constexpr double to_pJ(double joules) { return joules * 1e12; }
+
+// Physical constants.
+namespace phys {
+constexpr double kBoltzmann = 1.380649e-23;   // J/K
+constexpr double kElectronCharge = 1.602176634e-19;  // C
+constexpr double kEps0 = 8.8541878128e-12;    // F/m
+constexpr double kRoomTempK = 300.0;          // K
+
+// Thermal voltage kT/q at temperature T (kelvin).
+constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmann * temp_k / kElectronCharge;
+}
+}  // namespace phys
+
+}  // namespace lain

@@ -1,0 +1,50 @@
+#include "xbar/area.hpp"
+
+#include "tech/itrs.hpp"
+
+namespace lain::xbar {
+namespace {
+
+// Device footprint: width x (gate length + source/drain diffusion),
+// with diffusion ~6 gate lengths per side at contacted pitch.
+double device_area_m2(const circuit::Netlist& nl, double lgate_m) {
+  return nl.total_width_m() * (lgate_m * 13.0);
+}
+
+double role_area_m2(const circuit::Netlist& nl, circuit::DeviceRole role,
+                    double lgate_m) {
+  double w = 0.0;
+  for (const auto& d : nl.devices()) {
+    if (d.role == role) w += d.mos.width_m;
+  }
+  return w * (lgate_m * 13.0);
+}
+
+}  // namespace
+
+AreaReport estimate_area(const CrossbarSpec& spec, Scheme scheme) {
+  spec.validate();
+  const tech::TechNode& node = tech::itrs_node(spec.node);
+  const Floorplan fp(spec, node);
+
+  const OutputSlice slice = build_output_slice(spec, scheme);
+  const InputCell in_cell = build_input_cell(spec, scheme);
+  const OutputSlice sc_slice = build_output_slice(spec, Scheme::kSC);
+  const InputCell sc_in = build_input_cell(spec, Scheme::kSC);
+  const double cells = static_cast<double>(spec.flit_bits) * spec.ports;
+
+  AreaReport r;
+  r.matrix_area_m2 = fp.span_m() * fp.span_m();
+  r.device_area_m2 = cells * (device_area_m2(slice.nl, node.lgate_m) +
+                              device_area_m2(in_cell.nl, node.lgate_m));
+  r.sleep_area_m2 =
+      cells * role_area_m2(slice.nl, circuit::DeviceRole::kSleep,
+                           node.lgate_m);
+  const double sc_area =
+      cells * (device_area_m2(sc_slice.nl, node.lgate_m) +
+               device_area_m2(sc_in.nl, node.lgate_m));
+  r.overhead_vs_m2 = r.device_area_m2 - sc_area;
+  return r;
+}
+
+}  // namespace lain::xbar

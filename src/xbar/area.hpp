@@ -1,0 +1,34 @@
+// area.hpp — crossbar area model.
+//
+// Sec 2.1 claims the sleep transistor "incurs negligible area overhead
+// since wires dominate the area".  This model quantifies that: the
+// matrix area is span^2 (wire-pitch-bound), device area is summed from
+// widths x (gate length + diffusion extension).  Used by the Fig-1
+// bench and tests to check the paper's claim and to compare scheme
+// area overheads.
+
+#pragma once
+
+#include "xbar/builder.hpp"
+#include "xbar/floorplan.hpp"
+
+namespace lain::xbar {
+
+struct AreaReport {
+  double matrix_area_m2 = 0.0;    // wire-bound span x span
+  double device_area_m2 = 0.0;    // all transistors, full crossbar
+  double sleep_area_m2 = 0.0;     // sleep pulldowns only
+  double overhead_vs_m2 = 0.0;    // device area delta vs the SC baseline
+
+  double device_share() const {
+    return device_area_m2 / (matrix_area_m2 + device_area_m2);
+  }
+  double sleep_share() const {
+    return sleep_area_m2 / (matrix_area_m2 + device_area_m2);
+  }
+};
+
+// Area of the full crossbar (all bits, all ports) for `scheme`.
+AreaReport estimate_area(const CrossbarSpec& spec, Scheme scheme);
+
+}  // namespace lain::xbar

@@ -1,0 +1,9 @@
+#include "xbar/dfc.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_dfc_slice(const CrossbarSpec& spec) {
+  return build_flat_slice(spec, scheme_vt_map(Scheme::kDFC));
+}
+
+}  // namespace lain::xbar

@@ -1,0 +1,18 @@
+// dfc.hpp — DFC: dual-Vt feedback crossbar (paper Fig 1).
+//
+// The SC circuit with a staggered dual-Vt assignment biased toward the
+// High->Low output transition: the feedback keeper and I1's NMOS —
+// the devices that are OFF when the cell rests in its parked state
+// (node A low) — are high-Vt.  The weaker high-Vt keeper also reduces
+// contention when node A discharges, which is why the DFC's HL delay
+// *improves* on SC while LH pays a small penalty.
+
+#pragma once
+
+#include "xbar/builder.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_dfc_slice(const CrossbarSpec& spec);
+
+}  // namespace lain::xbar

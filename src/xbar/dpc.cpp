@@ -1,0 +1,9 @@
+#include "xbar/dpc.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_dpc_slice(const CrossbarSpec& spec) {
+  return build_flat_slice(spec, scheme_vt_map(Scheme::kDPC));
+}
+
+}  // namespace lain::xbar

@@ -1,0 +1,19 @@
+// dpc.hpp — DPC: dual-Vt pre-charged crossbar (paper Fig 2).
+//
+// The output wire is precharged to Vdd in the negative clock phase, so
+// a logic-1 transfer has virtually zero data delay and the pull-up
+// side of the output driver is never speed-critical.  That lets the
+// I2 PMOS and the precharge pFET go high-Vt on top of the DFC map.
+// In standby (sleep=1, pre deactivated) the driver chain rests in its
+// minimum-leakage state — every OFF device is high-Vt — which is what
+// produces the 93.68 % standby-leakage saving in Table 1.
+
+#pragma once
+
+#include "xbar/builder.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_dpc_slice(const CrossbarSpec& spec);
+
+}  // namespace lain::xbar

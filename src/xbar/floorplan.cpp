@@ -1,0 +1,16 @@
+#include "xbar/floorplan.hpp"
+
+namespace lain::xbar {
+
+Floorplan::Floorplan(const CrossbarSpec& spec, const tech::TechNode& node)
+    : ports_(spec.ports) {
+  spec.validate();
+  const tech::WireGeometry& g = node.tier(spec.tier);
+  // One wire per bit per port crosses the matrix; the edge length is
+  // the stacked pitch of all crossing wires.
+  span_m_ = static_cast<double>(spec.ports) *
+            static_cast<double>(spec.flit_bits) * g.pitch_m();
+  wire_ = tech::wire_rc(node, spec.tier);
+}
+
+}  // namespace lain::xbar

@@ -1,0 +1,9 @@
+#include "xbar/sc.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_sc_slice(const CrossbarSpec& spec) {
+  return build_flat_slice(spec, scheme_vt_map(Scheme::kSC));
+}
+
+}  // namespace lain::xbar

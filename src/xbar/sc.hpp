@@ -1,0 +1,16 @@
+// sc.hpp — SC: single-Vt baseline crossbar.
+//
+// Same circuit as the DFC (Fig 1) — grant pass transistors into node
+// A, feedback keeper, I1/I2 driver, sleep pulldown N5 — but every
+// device uses the nominal threshold.  This is the base case all
+// Table-1 savings are measured against.
+
+#pragma once
+
+#include "xbar/builder.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_sc_slice(const CrossbarSpec& spec);
+
+}  // namespace lain::xbar

@@ -1,0 +1,45 @@
+// scheme.hpp — the five crossbar schemes evaluated in the paper.
+
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string_view>
+
+namespace lain::xbar {
+
+enum class Scheme {
+  kSC,    // single-Vt baseline (DFC circuit, all nominal Vt)
+  kDFC,   // dual-Vt feedback crossbar            (Fig 1)
+  kDPC,   // dual-Vt pre-charged crossbar         (Fig 2)
+  kSDFC,  // segmented dual-Vt feedback crossbar  (Fig 3a)
+  kSDPC,  // segmented dual-Vt pre-charged        (Fig 3b)
+};
+
+constexpr std::array<Scheme, 5> all_schemes() {
+  return {Scheme::kSC, Scheme::kDFC, Scheme::kDPC, Scheme::kSDFC,
+          Scheme::kSDPC};
+}
+
+constexpr std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kSC: return "SC";
+    case Scheme::kDFC: return "DFC";
+    case Scheme::kDPC: return "DPC";
+    case Scheme::kSDFC: return "SDFC";
+    case Scheme::kSDPC: return "SDPC";
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+constexpr bool is_segmented(Scheme s) {
+  return s == Scheme::kSDFC || s == Scheme::kSDPC;
+}
+
+constexpr bool is_precharged(Scheme s) {
+  return s == Scheme::kDPC || s == Scheme::kSDPC;
+}
+
+constexpr bool is_dual_vt(Scheme s) { return s != Scheme::kSC; }
+
+}  // namespace lain::xbar

@@ -1,0 +1,9 @@
+#include "xbar/sdfc.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_sdfc_slice(const CrossbarSpec& spec) {
+  return build_segmented_slice(spec, Scheme::kSDFC, kSdfcFullSlackHalves);
+}
+
+}  // namespace lain::xbar

@@ -1,0 +1,26 @@
+// sdfc.hpp — SDFC: segmented dual-Vt feedback crossbar (Fig 3a).
+//
+// Each row/column wire of the 5x5 matrix is split in two at mid-span
+// by a (high-Vt) transmission gate; each half carries its own
+// downsized, tri-stated mux/driver cell serving the input rows that
+// land in it.  Short connections (the paper's "path 1") stay within
+// the near half — less RC, more slack, letting the near half's driver
+// go fully high-Vt — while an idle half is parked (per-segment
+// standby) even when the crossbar is active.  The boundary switch
+// costs the worst path ("path 2") the 4.69 % delay penalty Table 1
+// reports.
+
+#pragma once
+
+#include "xbar/builder.hpp"
+
+namespace lain::xbar {
+
+// Number of wire halves whose cell drivers are fully high-Vt (the
+// near half has the short downstream path and the slack to absorb the
+// slower drive).
+inline constexpr int kSdfcFullSlackHalves = 1;
+
+OutputSlice build_sdfc_slice(const CrossbarSpec& spec);
+
+}  // namespace lain::xbar

@@ -1,0 +1,9 @@
+#include "xbar/sdpc.hpp"
+
+namespace lain::xbar {
+
+OutputSlice build_sdpc_slice(const CrossbarSpec& spec) {
+  return build_segmented_slice(spec, Scheme::kSDPC, kSdpcFullSlackHalves);
+}
+
+}  // namespace lain::xbar

@@ -1,0 +1,98 @@
+#include "noc/arbiter.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+TEST(RoundRobin, RotatesPriority) {
+  RoundRobinArbiter a(3);
+  std::vector<bool> all{true, true, true};
+  EXPECT_EQ(a.arbitrate(all), 0);
+  EXPECT_EQ(a.arbitrate(all), 1);
+  EXPECT_EQ(a.arbitrate(all), 2);
+  EXPECT_EQ(a.arbitrate(all), 0);
+}
+
+TEST(RoundRobin, SkipsIdleRequesters) {
+  RoundRobinArbiter a(4);
+  std::vector<bool> req{false, false, true, false};
+  EXPECT_EQ(a.arbitrate(req), 2);
+  EXPECT_EQ(a.arbitrate(req), 2);
+}
+
+TEST(RoundRobin, NoRequests) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.arbitrate({false, false, false, false}), -1);
+}
+
+TEST(Matrix, LeastRecentlyServed) {
+  MatrixArbiter a(3);
+  std::vector<bool> all{true, true, true};
+  const int first = a.arbitrate(all);
+  const int second = a.arbitrate(all);
+  const int third = a.arbitrate(all);
+  // All three served once before anyone repeats.
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+  // After serving everyone, the first becomes highest priority again.
+  EXPECT_EQ(a.arbitrate(all), first);
+}
+
+TEST(Matrix, SingleRequesterAlwaysWins) {
+  MatrixArbiter a(4);
+  std::vector<bool> req{false, true, false, false};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.arbitrate(req), 1);
+}
+
+TEST(Arbiters, SizeMismatchThrows) {
+  RoundRobinArbiter rr(3);
+  MatrixArbiter mx(3);
+  EXPECT_THROW(rr.arbitrate({true}), std::invalid_argument);
+  EXPECT_THROW(mx.arbitrate({true}), std::invalid_argument);
+  EXPECT_THROW(RoundRobinArbiter(0), std::invalid_argument);
+  EXPECT_THROW(MatrixArbiter(0), std::invalid_argument);
+}
+
+// Property: under persistent requests from every input, both arbiter
+// types are starvation-free — each input is granted at least once per
+// N consecutive arbitrations, and grants are exactly balanced over
+// k*N rounds.
+struct ArbCase {
+  const char* kind;
+  int inputs;
+};
+
+class StarvationFreedom : public ::testing::TestWithParam<ArbCase> {};
+
+TEST_P(StarvationFreedom, PersistentRequestersAllServed) {
+  const ArbCase c = GetParam();
+  std::unique_ptr<Arbiter> arb;
+  if (std::string(c.kind) == "rr") {
+    arb = std::make_unique<RoundRobinArbiter>(c.inputs);
+  } else {
+    arb = std::make_unique<MatrixArbiter>(c.inputs);
+  }
+  std::vector<bool> all(static_cast<size_t>(c.inputs), true);
+  std::vector<int> grants(static_cast<size_t>(c.inputs), 0);
+  const int rounds = 20 * c.inputs;
+  for (int i = 0; i < rounds; ++i) {
+    const int g = arb->arbitrate(all);
+    ASSERT_GE(g, 0);
+    ++grants[static_cast<size_t>(g)];
+  }
+  for (int i = 0; i < c.inputs; ++i) {
+    EXPECT_EQ(grants[static_cast<size_t>(i)], 20) << c.kind << " input " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArbiters, StarvationFreedom,
+    ::testing::Values(ArbCase{"rr", 2}, ArbCase{"rr", 5}, ArbCase{"rr", 9},
+                      ArbCase{"mx", 2}, ArbCase{"mx", 5}, ArbCase{"mx", 9}));
+
+}  // namespace
+}  // namespace lain::noc

@@ -1,0 +1,53 @@
+#include "xbar/area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::xbar {
+namespace {
+
+TEST(Area, WiresDominate) {
+  // Sec 2.1's justification for the sleep transistor: "it incurs
+  // negligible area overhead since wires dominate the area."
+  const AreaReport r = estimate_area(table1_spec(), Scheme::kSC);
+  EXPECT_GT(r.matrix_area_m2, r.device_area_m2);
+  EXPECT_LT(r.device_share(), 0.45);
+}
+
+TEST(Area, SleepTransistorNegligible) {
+  const AreaReport r = estimate_area(table1_spec(), Scheme::kDFC);
+  EXPECT_LT(r.sleep_share(), 0.01);  // well under 1 % of the crossbar
+  EXPECT_GT(r.sleep_area_m2, 0.0);
+}
+
+TEST(Area, DualVtSchemesCostNoExtraDevices) {
+  // DFC/DPC change thresholds, not sizes: overhead is only the
+  // precharge pFET for DPC.
+  const AreaReport dfc = estimate_area(table1_spec(), Scheme::kDFC);
+  EXPECT_NEAR(dfc.overhead_vs_m2, 0.0, 1e-15);
+  const AreaReport dpc = estimate_area(table1_spec(), Scheme::kDPC);
+  EXPECT_GT(dpc.overhead_vs_m2, 0.0);
+  EXPECT_LT(dpc.overhead_vs_m2, 0.1 * dpc.device_area_m2);
+}
+
+TEST(Area, SegmentedSchemesPayMoreButBounded) {
+  // Per-half driver cells + tri-state stacks + boundary switches are a
+  // real area cost of our segmented implementation: device area grows
+  // past the flat schemes' but stays within ~1.5x the wire matrix.
+  const AreaReport sdfc = estimate_area(table1_spec(), Scheme::kSDFC);
+  const AreaReport sc = estimate_area(table1_spec(), Scheme::kSC);
+  EXPECT_GT(sdfc.overhead_vs_m2, 0.0);
+  EXPECT_GT(sdfc.device_area_m2, sc.device_area_m2);
+  EXPECT_LT(sdfc.device_area_m2, 1.5 * sdfc.matrix_area_m2);
+}
+
+TEST(Area, ScalesWithFlitWidth) {
+  CrossbarSpec wide = table1_spec();
+  wide.flit_bits = 256;
+  const AreaReport r128 = estimate_area(table1_spec(), Scheme::kSC);
+  const AreaReport r256 = estimate_area(wide, Scheme::kSC);
+  EXPECT_NEAR(r256.matrix_area_m2 / r128.matrix_area_m2, 4.0, 0.01);
+  EXPECT_NEAR(r256.device_area_m2 / r128.device_area_m2, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lain::xbar

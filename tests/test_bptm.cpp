@@ -1,0 +1,80 @@
+#include "tech/bptm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/units.hpp"
+
+namespace lain::tech {
+namespace {
+
+using namespace lain::units;
+
+WireGeometry geom45() { return itrs_node(Node::k45nm).intermediate; }
+
+TEST(Bptm, ResistanceMagnitude) {
+  // rho/(w*t) for the 45 nm intermediate tier: ~0.7-0.9 ohm/um.
+  const double r = wire_resistance_per_m(geom45());
+  EXPECT_GT(r, 0.4e6);
+  EXPECT_LT(r, 1.5e6);
+}
+
+TEST(Bptm, ResistanceScaling) {
+  WireGeometry g = geom45();
+  const double r0 = wire_resistance_per_m(g);
+  g.width_m *= 2.0;
+  EXPECT_NEAR(wire_resistance_per_m(g), r0 / 2.0, r0 * 1e-9);
+  g.thickness_m *= 2.0;
+  EXPECT_NEAR(wire_resistance_per_m(g), r0 / 4.0, r0 * 1e-9);
+}
+
+TEST(Bptm, CapacitanceMagnitude) {
+  // Total C for a mid-tier 45 nm wire: ~0.1-0.35 fF/um.
+  const WireRC rc = wire_rc(itrs_node(Node::k45nm), WireTier::kIntermediate);
+  EXPECT_GT(rc.c_per_m(), 0.05e-9);
+  EXPECT_LT(rc.c_per_m(), 0.4e-9);
+  EXPECT_GT(rc.cg_per_m, 0.0);
+  EXPECT_GT(rc.cc_per_m, 0.0);
+}
+
+TEST(Bptm, CouplingDominatesAtTightSpacing) {
+  // At minimum pitch with AR 2, lateral coupling exceeds ground cap.
+  const WireRC rc = wire_rc(itrs_node(Node::k45nm), WireTier::kIntermediate);
+  EXPECT_GT(rc.cc_per_m, rc.cg_per_m);
+}
+
+TEST(Bptm, CouplingFallsWithSpacing) {
+  WireGeometry g = geom45();
+  const double cc0 = wire_coupling_cap_per_m(g);
+  g.spacing_m *= 2.0;
+  EXPECT_LT(wire_coupling_cap_per_m(g), cc0);
+  g.spacing_m *= 4.0;
+  EXPECT_LT(wire_coupling_cap_per_m(g), cc0 / 2.0);
+}
+
+TEST(Bptm, GroundCapGrowsWithWidth) {
+  WireGeometry g = geom45();
+  const double cg0 = wire_ground_cap_per_m(g);
+  g.width_m *= 2.0;
+  EXPECT_GT(wire_ground_cap_per_m(g), cg0);
+}
+
+TEST(Bptm, LowKReducesCap) {
+  WireGeometry g = geom45();
+  const double c0 = wire_ground_cap_per_m(g) + wire_coupling_cap_per_m(g);
+  g.k_ild = 2.0;
+  const double c1 = wire_ground_cap_per_m(g) + wire_coupling_cap_per_m(g);
+  EXPECT_NEAR(c1 / c0, 2.0 / 2.7, 1e-9);
+}
+
+TEST(Bptm, InvalidGeometryThrows) {
+  WireGeometry g = geom45();
+  g.width_m = 0.0;
+  EXPECT_THROW(wire_resistance_per_m(g), std::invalid_argument);
+  g = geom45();
+  g.spacing_m = 0.0;
+  EXPECT_THROW(wire_ground_cap_per_m(g), std::invalid_argument);
+  EXPECT_THROW(wire_coupling_cap_per_m(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::tech

@@ -1,0 +1,69 @@
+#include "noc/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+TEST(Channel, LatencyOne) {
+  FlitChannel ch(1);
+  Flit f;
+  f.packet = 7;
+  ch.send(f);
+  EXPECT_FALSE(ch.receive().has_value());  // not yet visible
+  ch.tick();
+  const auto got = ch.receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->packet, 7);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, LatencyThree) {
+  CreditChannel ch(3);
+  ch.send(Credit{2});
+  ch.tick();
+  ch.tick();
+  EXPECT_FALSE(ch.receive().has_value());
+  ch.tick();
+  const auto got = ch.receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->vc, 2);
+}
+
+TEST(Channel, PreservesOrder) {
+  FlitChannel ch(1);
+  Flit a, b;
+  a.packet = 1;
+  b.packet = 2;
+  ch.send(a);
+  ch.tick();
+  ch.send(b);
+  ch.tick();
+  EXPECT_EQ(ch.receive()->packet, 1);
+  EXPECT_EQ(ch.receive()->packet, 2);
+}
+
+TEST(Channel, OneSendPerCycle) {
+  FlitChannel ch(1);
+  ch.send(Flit{});
+  EXPECT_THROW(ch.send(Flit{}), std::logic_error);
+  ch.tick();
+  EXPECT_NO_THROW(ch.send(Flit{}));
+}
+
+TEST(Channel, InFlightCount) {
+  FlitChannel ch(2);
+  EXPECT_EQ(ch.in_flight_count(), 0);
+  ch.send(Flit{});
+  ch.tick();
+  ch.send(Flit{});
+  EXPECT_EQ(ch.in_flight_count(), 2);
+  EXPECT_TRUE(ch.in_flight());
+}
+
+TEST(Channel, BadLatencyThrows) {
+  EXPECT_THROW(FlitChannel(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::noc

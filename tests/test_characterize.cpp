@@ -1,0 +1,130 @@
+#include "xbar/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::xbar {
+namespace {
+
+class CharacterizeTest : public ::testing::Test {
+ protected:
+  static const Characterization& of(Scheme s) {
+    static std::map<Scheme, Characterization> cache;
+    auto it = cache.find(s);
+    if (it == cache.end()) {
+      it = cache.emplace(s, characterize(table1_spec(), s)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(CharacterizeTest, AllQuantitiesPositive) {
+  for (Scheme s : all_schemes()) {
+    const Characterization& c = of(s);
+    EXPECT_GT(c.delay_hl_s, 0.0) << scheme_name(s);
+    EXPECT_GT(c.delay_lh_s, 0.0) << scheme_name(s);
+    EXPECT_GT(c.active_leakage_w, 0.0) << scheme_name(s);
+    EXPECT_GT(c.idle_leakage_w, 0.0) << scheme_name(s);
+    EXPECT_GT(c.standby_leakage_w, 0.0) << scheme_name(s);
+    EXPECT_GT(c.dynamic_power_w, 0.0) << scheme_name(s);
+    EXPECT_GT(c.total_power_w, 0.0) << scheme_name(s);
+    EXPECT_GE(c.min_idle_cycles, 1) << scheme_name(s);
+  }
+}
+
+TEST_F(CharacterizeTest, StandbyBelowIdle) {
+  // Gating must actually reduce leakage for every scheme.
+  for (Scheme s : all_schemes()) {
+    const Characterization& c = of(s);
+    EXPECT_LT(c.standby_leakage_w, c.idle_leakage_w) << scheme_name(s);
+  }
+}
+
+TEST_F(CharacterizeTest, DelaysInPlausibleBand) {
+  // All schemes sit within 2x of the SC baseline's ~60 ps.
+  for (Scheme s : all_schemes()) {
+    const Characterization& c = of(s);
+    EXPECT_GT(c.delay_hl_s, 20e-12) << scheme_name(s);
+    EXPECT_LT(c.delay_hl_s, 120e-12) << scheme_name(s);
+    EXPECT_GT(c.delay_lh_s, 20e-12) << scheme_name(s);
+    EXPECT_LT(c.delay_lh_s, 120e-12) << scheme_name(s);
+  }
+}
+
+TEST_F(CharacterizeTest, TotalPowerDecomposition) {
+  for (Scheme s : all_schemes()) {
+    const Characterization& c = of(s);
+    EXPECT_NEAR(c.total_power_w,
+                c.dynamic_power_w + c.control_power_w + c.active_leakage_w,
+                1e-12)
+        << scheme_name(s);
+  }
+}
+
+TEST_F(CharacterizeTest, PrechargedSchemesPayDynamicPenalty) {
+  // At 50 % static probability the precharged wire switches twice as
+  // often (the Table 1 footnote's "worst case for power").
+  EXPECT_GT(of(Scheme::kDPC).dynamic_power_w,
+            1.2 * of(Scheme::kSC).dynamic_power_w);
+  EXPECT_GT(of(Scheme::kSDPC).dynamic_power_w,
+            of(Scheme::kSDFC).dynamic_power_w);
+}
+
+TEST_F(CharacterizeTest, SleepPenaltyStructure) {
+  // Precharged schemes park in the state the precharge cycle restores
+  // for free: their penalty is the sleep line only.
+  EXPECT_LT(of(Scheme::kDPC).sleep_penalty_j(),
+            0.2 * of(Scheme::kSC).sleep_penalty_j());
+  EXPECT_DOUBLE_EQ(of(Scheme::kDPC).wakeup_energy_j, 0.0);
+  EXPECT_GT(of(Scheme::kSC).wakeup_energy_j, 0.0);
+}
+
+TEST_F(CharacterizeTest, RelativeSavingHelper) {
+  EXPECT_DOUBLE_EQ(relative_saving(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_saving(10.0, 10.0), 0.0);
+  EXPECT_LT(relative_saving(10.0, 12.0), 0.0);
+  EXPECT_THROW(relative_saving(0.0, 1.0), std::domain_error);
+}
+
+TEST_F(CharacterizeTest, DelayPenaltyHelper) {
+  const Characterization& base = of(Scheme::kSC);
+  EXPECT_DOUBLE_EQ(delay_penalty(base, base), 0.0);
+  // Faster schemes report "No" (zero), not negative.
+  EXPECT_DOUBLE_EQ(delay_penalty(base, of(Scheme::kDFC)), 0.0);
+  // Segmented schemes pay a positive penalty.
+  EXPECT_GT(delay_penalty(base, of(Scheme::kSDFC)), 0.0);
+  EXPECT_GT(delay_penalty(base, of(Scheme::kSDPC)), 0.0);
+}
+
+TEST_F(CharacterizeTest, SmallerCrossbarIsFasterAndCooler) {
+  CrossbarSpec small = table1_spec();
+  small.flit_bits = 32;
+  const Characterization c32 = characterize(small, Scheme::kSC);
+  const Characterization& c128 = of(Scheme::kSC);
+  EXPECT_LT(c32.delay_hl_s, c128.delay_hl_s);
+  EXPECT_LT(c32.total_power_w, c128.total_power_w);
+  EXPECT_LT(c32.active_leakage_w, c128.active_leakage_w);
+}
+
+TEST_F(CharacterizeTest, StaticProbabilityExtremes) {
+  // At p=1 (all ones) a precharged crossbar almost never discharges:
+  // its dynamic power collapses.
+  CrossbarSpec ones = table1_spec();
+  ones.static_probability = 0.95;
+  CrossbarSpec worst = table1_spec();
+  worst.static_probability = 0.5;
+  const Characterization dpc_ones = characterize(ones, Scheme::kDPC);
+  const Characterization dpc_worst = characterize(worst, Scheme::kDPC);
+  EXPECT_LT(dpc_ones.dynamic_power_w, 0.4 * dpc_worst.dynamic_power_w);
+}
+
+TEST_F(CharacterizeTest, InvalidSpecThrows) {
+  CrossbarSpec bad = table1_spec();
+  bad.static_probability = 1.5;
+  EXPECT_THROW(characterize(bad, Scheme::kSC), std::invalid_argument);
+  bad = table1_spec();
+  bad.freq_hz = 0.0;
+  EXPECT_THROW(characterize(bad, Scheme::kSC), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::xbar

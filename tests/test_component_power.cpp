@@ -1,0 +1,79 @@
+// Buffer / arbiter / link / whole-router power models.
+
+#include <gtest/gtest.h>
+
+#include "power/router_power.hpp"
+
+namespace lain::power {
+namespace {
+
+class ComponentPowerTest : public ::testing::Test {
+ protected:
+  xbar::CrossbarSpec spec = xbar::table1_spec();
+};
+
+TEST_F(ComponentPowerTest, BufferScalesWithGeometry) {
+  BufferParams small{2, 64, 1};
+  BufferParams big{8, 128, 2};
+  const BufferPowerModel a = characterize_buffer(spec, small);
+  const BufferPowerModel b = characterize_buffer(spec, big);
+  EXPECT_GT(a.read_energy_j, 0.0);
+  EXPECT_GT(a.write_energy_j, a.read_energy_j * 0.5);
+  EXPECT_GT(b.leakage_w, 5.0 * a.leakage_w);  // 8x the cells
+  EXPECT_LT(a.standby_leakage_w, a.leakage_w);
+  EXPECT_THROW(characterize_buffer(spec, BufferParams{0, 128, 1}),
+               std::invalid_argument);
+}
+
+TEST_F(ComponentPowerTest, ArbiterScalesWithRequesters) {
+  const ArbiterPowerModel a5 = characterize_arbiter(spec, 5);
+  const ArbiterPowerModel a10 = characterize_arbiter(spec, 10);
+  EXPECT_GT(a5.energy_per_arbitration_j, 0.0);
+  EXPECT_GT(a10.energy_per_arbitration_j, 2.0 * a5.energy_per_arbitration_j);
+  EXPECT_GT(a10.leakage_w, a5.leakage_w);
+  EXPECT_THROW(characterize_arbiter(spec, 0), std::invalid_argument);
+}
+
+TEST_F(ComponentPowerTest, LinkScalesWithLengthAndWidth) {
+  LinkParams base;
+  const LinkPowerModel l0 = characterize_link(spec, base);
+  LinkParams longer = base;
+  longer.length_m = 2e-3;
+  EXPECT_GT(characterize_link(spec, longer).energy_per_flit_j,
+            1.5 * l0.energy_per_flit_j);
+  LinkParams narrow = base;
+  narrow.width_bits = 64;
+  EXPECT_LT(characterize_link(spec, narrow).energy_per_flit_j,
+            0.6 * l0.energy_per_flit_j);
+  LinkParams bad = base;
+  bad.length_m = 0.0;
+  EXPECT_THROW(characterize_link(spec, bad), std::invalid_argument);
+}
+
+TEST_F(ComponentPowerTest, RouterAggregation) {
+  RouterPowerConfig cfg;
+  cfg.xbar_spec = spec;
+  cfg.scheme = xbar::Scheme::kSC;
+  const xbar::Characterization chars =
+      xbar::characterize(spec, xbar::Scheme::kSC);
+  RouterPower rp(cfg, chars);
+  RouterCycleEvents ev;
+  ev.buffer_writes = 5;
+  ev.buffer_reads = 5;
+  ev.xbar_traversals = 5;
+  ev.arbitrations = 5;
+  ev.link_flits = 4;
+  for (int i = 0; i < 100; ++i) rp.tick(ev);
+  EXPECT_GT(rp.buffer_energy_j(), 0.0);
+  EXPECT_GT(rp.arbiter_energy_j(), 0.0);
+  EXPECT_GT(rp.link_energy_j(), 0.0);
+  EXPECT_GT(rp.crossbar().total_energy_j(), 0.0);
+  EXPECT_NEAR(rp.total_energy_j(),
+              rp.buffer_energy_j() + rp.arbiter_energy_j() +
+                  rp.link_energy_j() + rp.crossbar().total_energy_j(),
+              1e-15);
+  EXPECT_GT(rp.average_power_w(), 0.0);
+}
+
+}  // namespace
+}  // namespace lain::power

@@ -1,0 +1,75 @@
+// Failure injection on configuration surfaces: every malformed config
+// must be rejected with std::invalid_argument, never silently accepted.
+
+#include <gtest/gtest.h>
+
+#include "noc/config.hpp"
+#include "xbar/builder.hpp"
+
+namespace lain {
+namespace {
+
+TEST(SimConfigValidation, AcceptsDefault) {
+  noc::SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.num_nodes(), 25);
+}
+
+TEST(SimConfigValidation, RejectsBadFields) {
+  auto expect_bad = [](auto mutate) {
+    noc::SimConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  };
+  expect_bad([](noc::SimConfig& c) { c.radix_x = 1; });
+  expect_bad([](noc::SimConfig& c) { c.radix_y = 0; });
+  expect_bad([](noc::SimConfig& c) { c.vcs = 0; });
+  expect_bad([](noc::SimConfig& c) {
+    c.topology = noc::TopologyKind::kTorus;
+    c.vcs = 1;  // dateline needs >= 2 VCs
+  });
+  expect_bad([](noc::SimConfig& c) { c.vc_depth_flits = 0; });
+  expect_bad([](noc::SimConfig& c) { c.link_latency = 0; });
+  expect_bad([](noc::SimConfig& c) { c.injection_rate = -0.1; });
+  expect_bad([](noc::SimConfig& c) { c.injection_rate = 1.5; });
+  expect_bad([](noc::SimConfig& c) { c.packet_length_flits = 0; });
+  expect_bad([](noc::SimConfig& c) { c.hotspot_node = 100; });
+  expect_bad([](noc::SimConfig& c) { c.hotspot_node = -1; });
+  expect_bad([](noc::SimConfig& c) { c.hotspot_fraction = 2.0; });
+  expect_bad([](noc::SimConfig& c) { c.measure_cycles = 0; });
+  expect_bad([](noc::SimConfig& c) { c.warmup_cycles = -1; });
+}
+
+TEST(CrossbarSpecValidation, AcceptsTable1Point) {
+  EXPECT_NO_THROW(xbar::table1_spec().validate());
+}
+
+TEST(CrossbarSpecValidation, RejectsBadFields) {
+  auto expect_bad = [](auto mutate) {
+    xbar::CrossbarSpec spec = xbar::table1_spec();
+    mutate(spec);
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  };
+  expect_bad([](xbar::CrossbarSpec& s) { s.ports = 1; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.flit_bits = 0; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.freq_hz = -1.0; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.static_probability = -0.01; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.static_probability = 1.01; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.temp_k = 0.0; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.sizing.pass_width_m = 0.0; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.sizing.keeper_width_m = -1e-6; });
+  expect_bad([](xbar::CrossbarSpec& s) { s.sizing.precharge_width_m = 0.0; });
+  expect_bad(
+      [](xbar::CrossbarSpec& s) { s.sizing.segment_switch_width_m = 0.0; });
+}
+
+TEST(SimConfigValidation, SegmentedSchemesNeedThreePorts) {
+  xbar::CrossbarSpec spec = xbar::table1_spec();
+  spec.ports = 2;
+  EXPECT_THROW(xbar::build_output_slice(spec, xbar::Scheme::kSDFC),
+               std::invalid_argument);
+  EXPECT_NO_THROW(xbar::build_output_slice(spec, xbar::Scheme::kSC));
+}
+
+}  // namespace
+}  // namespace lain

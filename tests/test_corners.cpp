@@ -1,0 +1,39 @@
+#include "tech/corners.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::tech {
+namespace {
+
+TEST(Corners, FastCornerLeaksMoreDrivesMore) {
+  const TechNode& node = itrs_node(Node::k45nm);
+  const Mosfet m{DeviceType::kNmos, VtClass::kNominal, 1e-6};
+  OperatingPoint op;
+  const DeviceModel tt = make_device_model(node, op);
+  op.corner = Corner::kFF;
+  const DeviceModel ff = make_device_model(node, op);
+  op.corner = Corner::kSS;
+  const DeviceModel ss = make_device_model(node, op);
+
+  EXPECT_GT(ff.ioff_a(m), tt.ioff_a(m));
+  EXPECT_GT(tt.ioff_a(m), ss.ioff_a(m));
+  EXPECT_GT(ff.ion_a(m), tt.ion_a(m));
+  EXPECT_GT(tt.ion_a(m), ss.ion_a(m));
+}
+
+TEST(Corners, VddScaling) {
+  const TechNode& node = itrs_node(Node::k45nm);
+  OperatingPoint op;
+  op.vdd_scale = 0.9;
+  const DeviceModel m = make_device_model(node, op);
+  EXPECT_NEAR(m.vdd_v(), 0.9, 1e-12);
+}
+
+TEST(Corners, Names) {
+  EXPECT_STREQ(corner_name(Corner::kTT), "TT");
+  EXPECT_STREQ(corner_name(Corner::kFF), "FF");
+  EXPECT_STREQ(corner_name(Corner::kSS), "SS");
+}
+
+}  // namespace
+}  // namespace lain::tech

@@ -1,0 +1,64 @@
+#include "noc/crossbar_sw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+TEST(CrossbarActivity, CountsBusyAndIdle) {
+  CrossbarActivity a;
+  a.record(3);
+  a.record(0);
+  a.record(0);
+  a.record(1);
+  EXPECT_EQ(a.cycles(), 4);
+  EXPECT_EQ(a.busy_cycles(), 2);
+  EXPECT_EQ(a.traversals(), 4);
+  EXPECT_DOUBLE_EQ(a.utilization(), 0.5);
+}
+
+TEST(CrossbarActivity, IdleRunHistogram) {
+  CrossbarActivity a;
+  // Two idle runs: length 2 and length 3, each closed by a busy cycle.
+  a.record(1);
+  a.record(0);
+  a.record(0);
+  a.record(1);
+  a.record(0);
+  a.record(0);
+  a.record(0);
+  a.record(2);
+  const Histogram& h = a.idle_runs();
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(CrossbarActivity, GateableIdleFraction) {
+  CrossbarActivity a;
+  a.record(1);
+  for (int i = 0; i < 10; ++i) a.record(0);  // run of 10
+  a.record(1);
+  a.record(0);  // run of 1
+  a.record(1);
+  // 11 idle cycles; runs >= 3: the 10-run -> 10/11.
+  EXPECT_NEAR(a.gateable_idle_fraction(3), 10.0 / 11.0, 1e-12);
+  EXPECT_NEAR(a.gateable_idle_fraction(1), 1.0, 1e-12);
+  EXPECT_NEAR(a.gateable_idle_fraction(20), 0.0, 1e-12);
+}
+
+TEST(CrossbarActivity, OpenRunCountsWhenLongEnough) {
+  CrossbarActivity a;
+  a.record(1);
+  for (int i = 0; i < 5; ++i) a.record(0);  // still open
+  EXPECT_NEAR(a.gateable_idle_fraction(5), 1.0, 1e-12);
+  EXPECT_NEAR(a.gateable_idle_fraction(6), 0.0, 1e-12);
+}
+
+TEST(CrossbarActivity, EmptySafe) {
+  CrossbarActivity a;
+  EXPECT_DOUBLE_EQ(a.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(a.gateable_idle_fraction(1), 0.0);
+}
+
+}  // namespace
+}  // namespace lain::noc

@@ -1,0 +1,49 @@
+#include "circuit/delay.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lain::circuit {
+namespace {
+
+TEST(Delay, LumpedStage) {
+  Stage s{"s", 1000.0, 10e-15, nullptr, 0, 1.0, 1.0};
+  EXPECT_NEAR(stage_delay_s(s), std::log(2.0) * 1e-11, 1e-16);
+}
+
+TEST(Delay, ContentionAndSwingScale) {
+  Stage s{"s", 1000.0, 10e-15, nullptr, 0, 1.0, 1.0};
+  const double base = stage_delay_s(s);
+  s.contention = 2.0;
+  EXPECT_NEAR(stage_delay_s(s), 2.0 * base, 1e-16);
+  s.swing = 1.5;
+  EXPECT_NEAR(stage_delay_s(s), 3.0 * base, 1e-16);
+}
+
+TEST(Delay, TreeStage) {
+  RCTree t;
+  const int end = t.add_child(0, 500.0, 20e-15);
+  Stage s{"s", 250.0, 0.0, &t, end, 1.0, 1.0};
+  EXPECT_NEAR(stage_delay_s(s), t.elmore_delay_s(end, 250.0), 1e-18);
+}
+
+TEST(Delay, PathSumsStages) {
+  Stage a{"a", 100.0, 10e-15, nullptr, 0, 1.0, 1.0};
+  Stage b{"b", 200.0, 20e-15, nullptr, 0, 1.0, 1.0};
+  EXPECT_NEAR(path_delay_s({a, b}), stage_delay_s(a) + stage_delay_s(b),
+              1e-18);
+  EXPECT_DOUBLE_EQ(path_delay_s({}), 0.0);
+}
+
+TEST(Delay, BadStageThrows) {
+  Stage s{"s", -1.0, 1e-15, nullptr, 0, 1.0, 1.0};
+  EXPECT_THROW(stage_delay_s(s), std::invalid_argument);
+  s = Stage{"s", 1.0, 1e-15, nullptr, 0, 0.5, 1.0};
+  EXPECT_THROW(stage_delay_s(s), std::invalid_argument);
+  s = Stage{"s", 1.0, 1e-15, nullptr, 0, 1.0, 0.0};
+  EXPECT_THROW(stage_delay_s(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::circuit

@@ -1,0 +1,62 @@
+#include "core/design_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace lain::core {
+namespace {
+
+TEST(DesignPoint, CachesCharacterizations) {
+  DesignPoint dp(xbar::table1_spec());
+  const xbar::Characterization& a = dp.of(xbar::Scheme::kDPC);
+  const xbar::Characterization& b = dp.of(xbar::Scheme::kDPC);
+  EXPECT_EQ(&a, &b);  // same cached object
+}
+
+TEST(DesignPoint, AllReturnsScFirst) {
+  DesignPoint dp(xbar::table1_spec());
+  const auto all = dp.all();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front().scheme, xbar::Scheme::kSC);
+  EXPECT_EQ(all.back().scheme, xbar::Scheme::kSDPC);
+}
+
+TEST(DesignPoint, RejectsBadSpec) {
+  xbar::CrossbarSpec bad = xbar::table1_spec();
+  bad.ports = 0;
+  EXPECT_THROW(DesignPoint dp(bad), std::invalid_argument);
+}
+
+TEST(Experiments, DefaultConfigsAreValid) {
+  EXPECT_NO_THROW(default_mesh_config(0.1, noc::TrafficPattern::kUniform)
+                      .validate());
+  const NocPowerConfig cfg = default_noc_power(xbar::Scheme::kSDFC);
+  EXPECT_NO_THROW(cfg.xbar_spec.validate());
+  EXPECT_EQ(cfg.xbar_spec.ports, noc::kNumPorts);
+  EXPECT_EQ(cfg.buffer.width_bits, cfg.xbar_spec.flit_bits);
+}
+
+TEST(Experiments, RunResultFieldsPopulated) {
+  const NocRunResult r = run_powered_noc(xbar::Scheme::kDFC, 0.08,
+                                         noc::TrafficPattern::kNeighbor);
+  EXPECT_EQ(r.scheme, xbar::Scheme::kDFC);
+  EXPECT_DOUBLE_EQ(r.injection_rate, 0.08);
+  EXPECT_EQ(r.pattern, noc::TrafficPattern::kNeighbor);
+  EXPECT_GT(r.throughput_flits_node_cycle, 0.0);
+  EXPECT_FALSE(r.saturated);
+}
+
+TEST(Experiments, SeedsReproduce) {
+  const NocRunResult a = run_powered_noc(xbar::Scheme::kSC, 0.1,
+                                         noc::TrafficPattern::kUniform,
+                                         true, 7);
+  const NocRunResult b = run_powered_noc(xbar::Scheme::kSC, 0.1,
+                                         noc::TrafficPattern::kUniform,
+                                         true, 7);
+  EXPECT_DOUBLE_EQ(a.avg_packet_latency_cycles, b.avg_packet_latency_cycles);
+  EXPECT_DOUBLE_EQ(a.network_power_w, b.network_power_w);
+}
+
+}  // namespace
+}  // namespace lain::core

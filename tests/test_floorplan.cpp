@@ -1,0 +1,61 @@
+#include "xbar/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::xbar {
+namespace {
+
+TEST(Floorplan, SpanForTable1Point) {
+  const CrossbarSpec spec = table1_spec();
+  const Floorplan fp(spec, tech::itrs_node(spec.node));
+  // 5 ports x 128 bits x 280 nm pitch = 179.2 um.
+  EXPECT_NEAR(fp.span_m(), 179.2e-6, 1e-9);
+  EXPECT_NEAR(fp.segment_m(), 179.2e-6 / 5.0, 1e-9);
+  EXPECT_GT(fp.full_wire_cap_f(), 10e-15);
+  EXPECT_GT(fp.full_wire_res_ohm(), 50.0);
+}
+
+TEST(Floorplan, SpanScalesWithBitsAndPorts) {
+  CrossbarSpec spec = table1_spec();
+  const Floorplan base(spec, tech::itrs_node(spec.node));
+  spec.flit_bits = 64;
+  const Floorplan half(spec, tech::itrs_node(spec.node));
+  EXPECT_NEAR(half.span_m(), base.span_m() / 2.0, 1e-12);
+  spec.flit_bits = 128;
+  spec.ports = 10;
+  const Floorplan wide(spec, tech::itrs_node(spec.node));
+  EXPECT_NEAR(wide.span_m(), base.span_m() * 2.0, 1e-12);
+}
+
+TEST(Floorplan, TraversalFractions) {
+  const CrossbarSpec spec = table1_spec();
+  const Floorplan fp(spec, tech::itrs_node(spec.node));
+  // Per-port idealization: (P+1)/(2P) = 0.6 for P=5.
+  EXPECT_NEAR(fp.avg_traversed_fraction(), 0.6, 1e-12);
+  // Two-way implementation: (3*0.5 + 2*1.0)/5 = 0.7.
+  EXPECT_NEAR(fp.two_way_traversed_fraction(), 0.7, 1e-12);
+  // Segmentation always shortens the average switched wire.
+  EXPECT_LT(fp.two_way_traversed_fraction(), 1.0);
+  EXPECT_LT(fp.avg_traversed_fraction(), fp.two_way_traversed_fraction());
+}
+
+TEST(Floorplan, SegmentPathCounts) {
+  const CrossbarSpec spec = table1_spec();
+  const Floorplan fp(spec, tech::itrs_node(spec.node));
+  // Fig 3 "path 1": adjacent input/output -> 1 segment each.
+  EXPECT_EQ(fp.input_segments_traversed(0), 1);
+  EXPECT_EQ(fp.output_segments_traversed(4), 1);
+  // Fig 3 "path 2": far corner -> all segments.
+  EXPECT_EQ(fp.input_segments_traversed(4), 5);
+  EXPECT_EQ(fp.output_segments_traversed(0), 5);
+}
+
+TEST(Floorplan, InvalidSpecThrows) {
+  CrossbarSpec spec = table1_spec();
+  spec.ports = 1;
+  EXPECT_THROW(Floorplan(spec, tech::itrs_node(spec.node)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::xbar

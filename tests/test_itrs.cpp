@@ -1,0 +1,58 @@
+#include "tech/itrs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::tech {
+namespace {
+
+TEST(Itrs, LookupByEnumAndName) {
+  const TechNode& n45 = itrs_node(Node::k45nm);
+  EXPECT_EQ(n45.name, "45nm");
+  EXPECT_EQ(&itrs_node("45nm"), &n45);
+  EXPECT_EQ(itrs_node("90nm").name, "90nm");
+  EXPECT_THROW(itrs_node("32nm"), std::invalid_argument);
+}
+
+TEST(Itrs, PaperNodeParameters) {
+  const TechNode& n = itrs_node(Node::k45nm);
+  EXPECT_DOUBLE_EQ(n.vdd_v, 1.0);
+  EXPECT_NEAR(n.feature_m, 45e-9, 1e-12);
+  // Intermediate tier: pitch 280 nm, AR 2.0, low-k.
+  EXPECT_NEAR(n.intermediate.pitch_m(), 280e-9, 1e-12);
+  EXPECT_NEAR(n.intermediate.aspect_ratio(), 2.0, 1e-9);
+  EXPECT_LT(n.intermediate.k_ild, 3.0);
+}
+
+TEST(Itrs, ScalingAcrossNodes) {
+  const TechNode& n90 = itrs_node(Node::k90nm);
+  const TechNode& n65 = itrs_node(Node::k65nm);
+  const TechNode& n45 = itrs_node(Node::k45nm);
+  // Feature, Vdd, pitch and oxide all shrink with the node.
+  EXPECT_GT(n90.feature_m, n65.feature_m);
+  EXPECT_GT(n65.feature_m, n45.feature_m);
+  EXPECT_GE(n90.vdd_v, n65.vdd_v);
+  EXPECT_GE(n65.vdd_v, n45.vdd_v);
+  EXPECT_GT(n90.intermediate.pitch_m(), n65.intermediate.pitch_m());
+  EXPECT_GT(n65.intermediate.pitch_m(), n45.intermediate.pitch_m());
+  EXPECT_GT(n90.tox_m, n45.tox_m);
+  // Effective resistivity grows as wires shrink (scattering/barrier).
+  EXPECT_LT(n90.intermediate.rho_ohm_m, n45.intermediate.rho_ohm_m);
+}
+
+TEST(Itrs, TierAccessor) {
+  const TechNode& n = itrs_node(Node::k45nm);
+  EXPECT_EQ(&n.tier(WireTier::kLocal), &n.local);
+  EXPECT_EQ(&n.tier(WireTier::kIntermediate), &n.intermediate);
+  EXPECT_EQ(&n.tier(WireTier::kGlobal), &n.global);
+  // Tiers widen upward.
+  EXPECT_LT(n.local.width_m, n.intermediate.width_m);
+  EXPECT_LT(n.intermediate.width_m, n.global.width_m);
+}
+
+TEST(Itrs, AllNodes) {
+  const auto nodes = all_nodes();
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lain::tech

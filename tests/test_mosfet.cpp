@@ -1,0 +1,116 @@
+#include "tech/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/itrs.hpp"
+
+namespace lain::tech {
+namespace {
+
+class MosfetTest : public ::testing::Test {
+ protected:
+  const TechNode& node = itrs_node(Node::k45nm);
+  DeviceModel hot{node, 383.0};
+  DeviceModel cold{node, 300.0};
+  Mosfet n_nom{DeviceType::kNmos, VtClass::kNominal, 1e-6};
+  Mosfet n_high{DeviceType::kNmos, VtClass::kHigh, 1e-6};
+  Mosfet p_nom{DeviceType::kPmos, VtClass::kNominal, 1e-6};
+  Mosfet p_high{DeviceType::kPmos, VtClass::kHigh, 1e-6};
+};
+
+TEST_F(MosfetTest, DualVtLeakageRatio) {
+  // The dual-Vt offset (100 mV) should buy roughly an order of
+  // magnitude in subthreshold leakage at the hot corner.
+  const double ratio = hot.ioff_a(n_nom) / hot.ioff_a(n_high);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST_F(MosfetTest, LeakageGrowsWithTemperature) {
+  EXPECT_GT(hot.ioff_a(n_nom), 5.0 * cold.ioff_a(n_nom));
+  EXPECT_GT(hot.ioff_a(p_nom), 5.0 * cold.ioff_a(p_nom));
+}
+
+TEST_F(MosfetTest, LeakageScalesWithWidth) {
+  Mosfet wide = n_nom;
+  wide.width_m = 4e-6;
+  EXPECT_NEAR(hot.ioff_a(wide), 4.0 * hot.ioff_a(n_nom),
+              1e-9 * hot.ioff_a(wide));
+}
+
+TEST_F(MosfetTest, DiblStackEffectDirection) {
+  // Lower Vds raises the effective threshold -> less leakage per volt.
+  const double full = hot.subthreshold_a(n_nom, 0.0, 1.0);
+  const double half = hot.subthreshold_a(n_nom, 0.0, 0.5);
+  EXPECT_LT(half, full * 0.6);
+  // Negative gate underdrive (stack intermediate node) kills leakage.
+  const double under = hot.subthreshold_a(n_nom, -0.15, 0.9);
+  EXPECT_LT(under, full / 5.0);
+}
+
+TEST_F(MosfetTest, PmosLeaksLessPerWidth) {
+  EXPECT_LT(hot.ioff_a(p_nom), hot.ioff_a(n_nom));
+}
+
+TEST_F(MosfetTest, OnCurrentAndResistance) {
+  // ~1 mA/um class drive at the 45 nm node.
+  EXPECT_GT(hot.ion_a(n_nom), 0.5e-3);
+  EXPECT_LT(hot.ion_a(n_nom), 3e-3);
+  // High-Vt drives less -> higher effective resistance.
+  EXPECT_GT(hot.eff_resistance_ohm(n_high), hot.eff_resistance_ohm(n_nom));
+  // PMOS weaker than NMOS at equal width.
+  EXPECT_GT(hot.eff_resistance_ohm(p_nom), hot.eff_resistance_ohm(n_nom));
+  // Resistance inverse in width.
+  Mosfet wide = n_nom;
+  wide.width_m = 2e-6;
+  EXPECT_NEAR(hot.eff_resistance_ohm(wide),
+              hot.eff_resistance_ohm(n_nom) / 2.0, 1.0);
+}
+
+TEST_F(MosfetTest, GateLeakageVoltageSensitivity) {
+  const double full = hot.gate_leak_a(n_nom, 1.0);
+  const double half = hot.gate_leak_a(n_nom, 0.5);
+  EXPECT_GT(full, 0.0);
+  // Strongly sub-linear: an exponential-ish drop with oxide voltage.
+  EXPECT_LT(half, full / 10.0);
+  EXPECT_DOUBLE_EQ(hot.gate_leak_a(n_nom, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hot.gate_leak_a(n_nom, -0.5), 0.0);
+}
+
+TEST_F(MosfetTest, Capacitances) {
+  EXPECT_GT(hot.gate_cap_f(n_nom), 0.3e-15);
+  EXPECT_LT(hot.gate_cap_f(n_nom), 3e-15);
+  EXPECT_GT(hot.drain_cap_f(n_nom), 0.1e-15);
+  EXPECT_LT(hot.drain_cap_f(n_nom), hot.gate_cap_f(n_nom));
+}
+
+TEST_F(MosfetTest, ZeroConditions) {
+  EXPECT_DOUBLE_EQ(hot.subthreshold_a(n_nom, 0.0, 0.0), 0.0);
+  Mosfet zero_w = n_nom;
+  zero_w.width_m = 0.0;
+  EXPECT_DOUBLE_EQ(hot.subthreshold_a(zero_w, 0.0, 1.0), 0.0);
+}
+
+TEST_F(MosfetTest, BadTemperatureThrows) {
+  EXPECT_THROW(DeviceModel(node, -1.0), std::invalid_argument);
+}
+
+// Leakage must be monotone in temperature across the whole range the
+// experiments sweep.
+class LeakageVsTemp : public ::testing::TestWithParam<double> {};
+
+TEST_P(LeakageVsTemp, MonotoneInTemperature) {
+  const TechNode& node = itrs_node(Node::k45nm);
+  const double t = GetParam();
+  DeviceModel lo(node, t);
+  DeviceModel hi(node, t + 20.0);
+  const Mosfet m{DeviceType::kNmos, VtClass::kNominal, 1e-6};
+  EXPECT_LT(lo.ioff_a(m), hi.ioff_a(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(TempSweep, LeakageVsTemp,
+                         ::testing::Values(280.0, 300.0, 320.0, 340.0, 360.0,
+                                           380.0, 400.0));
+
+}  // namespace
+}  // namespace lain::tech

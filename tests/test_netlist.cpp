@@ -1,0 +1,65 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::circuit {
+namespace {
+
+using tech::DeviceType;
+using tech::Mosfet;
+using tech::VtClass;
+
+TEST(Netlist, RailsExistOnConstruction) {
+  Netlist nl;
+  EXPECT_EQ(nl.node_count(), 2u);
+  EXPECT_EQ(nl.node(nl.gnd()).kind, NodeKind::kGround);
+  EXPECT_EQ(nl.node(nl.vdd()).kind, NodeKind::kSupply);
+}
+
+TEST(Netlist, AddAndFind) {
+  Netlist nl;
+  const NodeId a = nl.add_node("A");
+  const NodeId b = nl.add_node("B", NodeKind::kInternal);
+  nl.add_device("M1", Mosfet{DeviceType::kNmos, VtClass::kNominal, 1e-6},
+                DeviceRole::kPassTransistor, a, b, nl.gnd());
+  EXPECT_EQ(nl.find_node("A"), a);
+  EXPECT_EQ(nl.find_node("nope"), kNoNode);
+  EXPECT_GE(nl.find_device("M1"), 0);
+  EXPECT_EQ(nl.find_device("M2"), -1);
+  EXPECT_EQ(nl.node(b).kind, NodeKind::kInternal);
+}
+
+TEST(Netlist, InventoryHelpers) {
+  Netlist nl;
+  const NodeId a = nl.add_node("A");
+  nl.add_device("M1", Mosfet{DeviceType::kNmos, VtClass::kNominal, 1e-6},
+                DeviceRole::kPassTransistor, a, a, nl.gnd());
+  nl.add_device("M2", Mosfet{DeviceType::kNmos, VtClass::kHigh, 2e-6},
+                DeviceRole::kPassTransistor, a, a, nl.gnd());
+  nl.add_device("M3", Mosfet{DeviceType::kPmos, VtClass::kHigh, 3e-6},
+                DeviceRole::kKeeper, a, a, nl.vdd());
+  EXPECT_EQ(nl.count_devices(DeviceRole::kPassTransistor), 2u);
+  EXPECT_EQ(nl.count_devices(VtClass::kHigh), 2u);
+  EXPECT_EQ(nl.count_devices(DeviceRole::kPassTransistor, VtClass::kHigh), 1u);
+  EXPECT_NEAR(nl.total_width_m(), 6e-6, 1e-15);
+  EXPECT_NEAR(nl.total_width_m(VtClass::kHigh), 5e-6, 1e-15);
+}
+
+TEST(Netlist, BadTerminalThrows) {
+  Netlist nl;
+  EXPECT_THROW(
+      nl.add_device("M1", Mosfet{DeviceType::kNmos, VtClass::kNominal, 1e-6},
+                    DeviceRole::kOther, 99, nl.gnd(), nl.vdd()),
+      std::out_of_range);
+}
+
+TEST(Netlist, ZeroWidthThrows) {
+  Netlist nl;
+  EXPECT_THROW(
+      nl.add_device("M1", Mosfet{DeviceType::kNmos, VtClass::kNominal, 0.0},
+                    DeviceRole::kOther, nl.gnd(), nl.gnd(), nl.vdd()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lain::circuit

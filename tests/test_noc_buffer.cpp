@@ -1,0 +1,73 @@
+#include "noc/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+Flit make_flit(FlitType t, PacketId id = 1) {
+  Flit f;
+  f.type = t;
+  f.packet = id;
+  return f;
+}
+
+TEST(VcBuffer, FifoOrder) {
+  VcBuffer b(4);
+  EXPECT_TRUE(b.empty());
+  b.push(make_flit(FlitType::kHead, 1));
+  b.push(make_flit(FlitType::kTail, 2));
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.front().packet, 1);
+  EXPECT_EQ(b.pop().packet, 1);
+  EXPECT_EQ(b.pop().packet, 2);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(VcBuffer, CapacityEnforced) {
+  VcBuffer b(2);
+  b.push(make_flit(FlitType::kHead));
+  b.push(make_flit(FlitType::kBody));
+  EXPECT_TRUE(b.full());
+  EXPECT_THROW(b.push(make_flit(FlitType::kTail)), std::logic_error);
+}
+
+TEST(VcBuffer, EmptyAccessThrows) {
+  VcBuffer b(2);
+  EXPECT_THROW(b.front(), std::logic_error);
+  EXPECT_THROW(b.pop(), std::logic_error);
+}
+
+TEST(VcBuffer, BadCapacityThrows) {
+  EXPECT_THROW(VcBuffer(0), std::invalid_argument);
+}
+
+TEST(InputPort, OccupancyAcrossVcs) {
+  InputPort port(3, 4);
+  EXPECT_EQ(port.num_vcs(), 3);
+  port.vc(0).push(make_flit(FlitType::kHead));
+  port.vc(2).push(make_flit(FlitType::kHead));
+  port.vc(2).push(make_flit(FlitType::kTail));
+  EXPECT_EQ(port.total_occupancy(), 3);
+}
+
+TEST(InputPort, StateMachineFields) {
+  InputPort port(1, 4);
+  EXPECT_EQ(port.vc(0).state, VcState::kIdle);
+  port.vc(0).state = VcState::kActive;
+  port.vc(0).out_port = 3;
+  port.vc(0).out_vc = 1;
+  EXPECT_EQ(port.vc(0).out_port, 3);
+}
+
+TEST(FlitTypes, HeadTailPredicates) {
+  EXPECT_TRUE(make_flit(FlitType::kHead).is_head());
+  EXPECT_FALSE(make_flit(FlitType::kHead).is_tail());
+  EXPECT_TRUE(make_flit(FlitType::kHeadTail).is_head());
+  EXPECT_TRUE(make_flit(FlitType::kHeadTail).is_tail());
+  EXPECT_FALSE(make_flit(FlitType::kBody).is_head());
+  EXPECT_TRUE(make_flit(FlitType::kTail).is_tail());
+}
+
+}  // namespace
+}  // namespace lain::noc

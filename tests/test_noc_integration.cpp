@@ -1,0 +1,77 @@
+#include "core/noc_integration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace lain::core {
+namespace {
+
+TEST(NocIntegration, PoweredRunProducesEnergy) {
+  const NocRunResult r = run_powered_noc(xbar::Scheme::kSC, 0.1,
+                                         noc::TrafficPattern::kUniform);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.network_power_w, 0.0);
+  EXPECT_GT(r.crossbar_power_w, 0.0);
+  EXPECT_LT(r.crossbar_power_w, r.network_power_w);
+  EXPECT_GT(r.avg_packet_latency_cycles, 4.0);
+}
+
+TEST(NocIntegration, StandbyFractionFallsWithLoad) {
+  const NocRunResult lo = run_powered_noc(xbar::Scheme::kDPC, 0.03,
+                                          noc::TrafficPattern::kUniform);
+  const NocRunResult hi = run_powered_noc(xbar::Scheme::kDPC, 0.35,
+                                          noc::TrafficPattern::kUniform);
+  EXPECT_GT(lo.standby_fraction, hi.standby_fraction);
+  EXPECT_GT(lo.standby_fraction, 0.2);
+}
+
+TEST(NocIntegration, PrechargedCrossbarsSaveAtLowLoad) {
+  const NocRunResult sc = run_powered_noc(xbar::Scheme::kSC, 0.05,
+                                          noc::TrafficPattern::kUniform);
+  const NocRunResult dpc = run_powered_noc(xbar::Scheme::kDPC, 0.05,
+                                           noc::TrafficPattern::kUniform);
+  // DPC's deep standby savings dominate at low utilization.
+  EXPECT_LT(dpc.crossbar_power_w, 0.6 * sc.crossbar_power_w);
+}
+
+TEST(NocIntegration, GatingReducesCrossbarEnergy) {
+  const NocRunResult gated = run_powered_noc(
+      xbar::Scheme::kDPC, 0.05, noc::TrafficPattern::kUniform, true);
+  const NocRunResult ungated = run_powered_noc(
+      xbar::Scheme::kDPC, 0.05, noc::TrafficPattern::kUniform, false);
+  EXPECT_LT(gated.crossbar_power_w, ungated.crossbar_power_w);
+  EXPECT_GT(gated.realized_saving_w, 0.0);
+  EXPECT_DOUBLE_EQ(ungated.standby_fraction, 0.0);
+}
+
+TEST(NocIntegration, LatencyUnaffectedAtNoGating) {
+  // Gating stalls cost at most a wake-up cycle; latency stays close.
+  const NocRunResult gated = run_powered_noc(
+      xbar::Scheme::kSDPC, 0.1, noc::TrafficPattern::kUniform, true);
+  const NocRunResult ungated = run_powered_noc(
+      xbar::Scheme::kSDPC, 0.1, noc::TrafficPattern::kUniform, false);
+  EXPECT_NEAR(gated.avg_packet_latency_cycles,
+              ungated.avg_packet_latency_cycles,
+              0.3 * ungated.avg_packet_latency_cycles + 2.0);
+}
+
+TEST(NocIntegration, PortMismatchThrows) {
+  noc::Simulation sim(default_mesh_config(0.1,
+                                          noc::TrafficPattern::kUniform));
+  NocPowerConfig cfg = default_noc_power(xbar::Scheme::kSC);
+  cfg.xbar_spec.ports = 7;
+  EXPECT_THROW(PoweredNoc(sim, cfg), std::invalid_argument);
+}
+
+TEST(NocIntegration, IdleHistogramHasLongRunsAtLowLoad) {
+  const noc::Histogram h =
+      idle_run_histogram(0.05, noc::TrafficPattern::kUniform);
+  EXPECT_GT(h.count(), 0);
+  // At 5 % load, idle runs longer than the worst Minimum Idle Time (3)
+  // must dominate — this is why gating pays off in the NoC context.
+  EXPECT_GT(h.fraction_at_least(3), 0.3);
+}
+
+}  // namespace
+}  // namespace lain::core

@@ -1,0 +1,80 @@
+// E11/E12 support: scaling and corner trends that must hold for the
+// node-sweep experiments to be meaningful.
+
+#include <gtest/gtest.h>
+
+#include "tech/corners.hpp"
+#include "xbar/characterize.hpp"
+
+namespace lain::xbar {
+namespace {
+
+Characterization at_node(tech::Node n, Scheme s) {
+  CrossbarSpec spec = table1_spec();
+  spec.node = n;
+  return characterize(spec, s);
+}
+
+TEST(NodeScaling, LeakageShareGrowsTowardSmallerNodes) {
+  const Characterization c90 = at_node(tech::Node::k90nm, Scheme::kSC);
+  const Characterization c65 = at_node(tech::Node::k65nm, Scheme::kSC);
+  const Characterization c45 = at_node(tech::Node::k45nm, Scheme::kSC);
+  auto share = [](const Characterization& c) {
+    return c.active_leakage_w / c.total_power_w;
+  };
+  EXPECT_LT(share(c90), share(c65));
+  EXPECT_LT(share(c65), share(c45));
+  // At 45 nm (2005-era projections) leakage is a major share.
+  EXPECT_GT(share(c45), 0.3);
+}
+
+TEST(NodeScaling, AbsoluteLeakageGrows) {
+  EXPECT_LT(at_node(tech::Node::k90nm, Scheme::kSC).active_leakage_w,
+            at_node(tech::Node::k45nm, Scheme::kSC).active_leakage_w);
+}
+
+TEST(NodeScaling, SavingsHoldAtEveryNode) {
+  for (tech::Node n : tech::all_nodes()) {
+    const Characterization base = at_node(n, Scheme::kSC);
+    const Characterization sdpc = at_node(n, Scheme::kSDPC);
+    EXPECT_GT(relative_saving(base.active_leakage_w, sdpc.active_leakage_w),
+              0.4)
+        << tech::itrs_node(n).name;
+    EXPECT_GT(relative_saving(base.standby_leakage_w, sdpc.standby_leakage_w),
+              0.6)
+        << tech::itrs_node(n).name;
+  }
+}
+
+TEST(CornerScaling, DualVtRatioHoldsAcrossCorners) {
+  const tech::TechNode& node = tech::itrs_node(tech::Node::k45nm);
+  for (tech::Corner corner :
+       {tech::Corner::kSS, tech::Corner::kTT, tech::Corner::kFF}) {
+    tech::OperatingPoint op;
+    op.corner = corner;
+    const tech::DeviceModel m = tech::make_device_model(node, op);
+    const tech::Mosfet nom{tech::DeviceType::kNmos, tech::VtClass::kNominal,
+                           1e-6};
+    const tech::Mosfet high{tech::DeviceType::kNmos, tech::VtClass::kHigh,
+                            1e-6};
+    const double ratio = m.ioff_a(nom) / m.ioff_a(high);
+    EXPECT_GT(ratio, 4.0) << tech::corner_name(corner);
+    EXPECT_LT(ratio, 30.0) << tech::corner_name(corner);
+  }
+}
+
+TEST(CornerScaling, SavingsRobustAcrossTemperature) {
+  for (double temp_k : {298.0, 343.0, 383.0}) {
+    CrossbarSpec spec = table1_spec();
+    spec.temp_k = temp_k;
+    const Characterization base = characterize(spec, Scheme::kSC);
+    const Characterization dpc = characterize(spec, Scheme::kDPC);
+    // The standby saving must stay deep at every temperature.
+    EXPECT_GT(relative_saving(base.standby_leakage_w, dpc.standby_leakage_w),
+              0.6)
+        << temp_k;
+  }
+}
+
+}  // namespace
+}  // namespace lain::xbar

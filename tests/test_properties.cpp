@@ -1,0 +1,124 @@
+// Cross-module property sweeps: the characterization invariants must
+// hold across the whole (scheme x flit width x ports x temperature)
+// design space, not just at the Table-1 point.
+
+#include <gtest/gtest.h>
+
+#include "xbar/characterize.hpp"
+
+namespace lain::xbar {
+namespace {
+
+struct SweepPoint {
+  Scheme scheme;
+  int flit_bits;
+  int ports;
+};
+
+class CharacterizationSpace : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(CharacterizationSpace, InvariantsHold) {
+  const SweepPoint pt = GetParam();
+  CrossbarSpec spec = table1_spec();
+  spec.flit_bits = pt.flit_bits;
+  spec.ports = pt.ports;
+  const Characterization c = characterize(spec, pt.scheme);
+
+  // Physicality.
+  EXPECT_GT(c.delay_hl_s, 0.0);
+  EXPECT_GT(c.delay_lh_s, 0.0);
+  EXPECT_GT(c.active_leakage_w, 0.0);
+  EXPECT_GT(c.standby_leakage_w, 0.0);
+  // Gating always helps.
+  EXPECT_LT(c.standby_leakage_w, c.idle_leakage_w);
+  // Breakeven is finite and at least one cycle.
+  EXPECT_GE(c.min_idle_cycles, 1);
+  EXPECT_LT(c.min_idle_cycles, 100);
+  // Energy bookkeeping is consistent.
+  EXPECT_GE(c.sleep_penalty_j(), 0.0);
+  EXPECT_NEAR(c.total_power_w,
+              c.dynamic_power_w + c.control_power_w + c.active_leakage_w,
+              1e-12);
+}
+
+std::vector<SweepPoint> sweep_points() {
+  std::vector<SweepPoint> pts;
+  for (Scheme s : all_schemes()) {
+    for (int bits : {32, 64, 128}) {
+      for (int ports : {3, 5, 7}) {
+        pts.push_back({s, bits, ports});
+      }
+    }
+  }
+  return pts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, CharacterizationSpace, ::testing::ValuesIn(sweep_points()),
+    [](const auto& info) {
+      return std::string(scheme_name(info.param.scheme)) + "_b" +
+             std::to_string(info.param.flit_bits) + "_p" +
+             std::to_string(info.param.ports);
+    });
+
+// Savings relative to SC stay in (-0.5, 1) everywhere and the dual-Vt
+// schemes never leak more than the baseline.
+class SavingsSpace : public ::testing::TestWithParam<int> {};
+
+TEST_P(SavingsSpace, DualVtNeverWorseThanBaseline) {
+  CrossbarSpec spec = table1_spec();
+  spec.flit_bits = GetParam();
+  const Characterization base = characterize(spec, Scheme::kSC);
+  for (Scheme s : {Scheme::kDFC, Scheme::kDPC, Scheme::kSDFC, Scheme::kSDPC}) {
+    const Characterization c = characterize(spec, s);
+    const double act = relative_saving(base.active_leakage_w,
+                                       c.active_leakage_w);
+    const double stby = relative_saving(base.standby_leakage_w,
+                                        c.standby_leakage_w);
+    EXPECT_GT(act, 0.0) << scheme_name(s);
+    EXPECT_LT(act, 1.0) << scheme_name(s);
+    EXPECT_GT(stby, 0.0) << scheme_name(s);
+    EXPECT_LT(stby, 1.0) << scheme_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlitWidths, SavingsSpace,
+                         ::testing::Values(32, 64, 128, 256));
+
+// Leakage must be monotone in temperature for every scheme.
+class TempMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(TempMonotone, LeakageGrowsWithTemperature) {
+  for (Scheme s : all_schemes()) {
+    CrossbarSpec lo = table1_spec();
+    lo.temp_k = GetParam();
+    CrossbarSpec hi = lo;
+    hi.temp_k = GetParam() + 30.0;
+    EXPECT_LT(characterize(lo, s).active_leakage_w,
+              characterize(hi, s).active_leakage_w)
+        << scheme_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, TempMonotone,
+                         ::testing::Values(300.0, 340.0, 380.0));
+
+// Delay penalty vs SC is scheme-stable across frequencies (delays do
+// not depend on the evaluation frequency at all).
+TEST(Frequency, DelaysIndependentOfFrequency) {
+  CrossbarSpec a = table1_spec();
+  CrossbarSpec b = table1_spec();
+  b.freq_hz = 1e9;
+  for (Scheme s : all_schemes()) {
+    const Characterization ca = characterize(a, s);
+    const Characterization cb = characterize(b, s);
+    EXPECT_DOUBLE_EQ(ca.delay_hl_s, cb.delay_hl_s) << scheme_name(s);
+    // Dynamic power scales ~linearly with frequency.
+    EXPECT_NEAR(cb.dynamic_power_w, ca.dynamic_power_w / 3.0,
+                0.01 * ca.dynamic_power_w)
+        << scheme_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace lain::xbar

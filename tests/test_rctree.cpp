@@ -1,0 +1,107 @@
+#include "circuit/rctree.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tech/itrs.hpp"
+
+namespace lain::circuit {
+namespace {
+
+TEST(RcTree, SingleLumpedLoad) {
+  RCTree t;
+  const int n = t.add_child(0, 0.0, 10e-15);
+  // tau = Rdrv * C; delay = ln2 * tau.
+  EXPECT_NEAR(t.elmore_tau_s(n, 1000.0), 1e-11, 1e-15);
+  EXPECT_NEAR(t.elmore_delay_s(n, 1000.0), std::log(2.0) * 1e-11, 1e-15);
+}
+
+TEST(RcTree, SeriesRC) {
+  RCTree t;
+  const int a = t.add_child(0, 100.0, 5e-15);
+  const int b = t.add_child(a, 100.0, 5e-15);
+  // tau(b) = Rdrv*(C_a+C_b) + 100*(C_a+C_b) + 100*C_b
+  const double tau = t.elmore_tau_s(b, 200.0);
+  EXPECT_NEAR(tau, 200.0 * 10e-15 + 100.0 * 10e-15 + 100.0 * 5e-15, 1e-20);
+}
+
+TEST(RcTree, BranchCapsCountOnSharedPathOnly) {
+  RCTree t;
+  const int stem = t.add_child(0, 100.0, 0.0);
+  const int left = t.add_child(stem, 100.0, 10e-15);
+  const int right = t.add_child(stem, 100.0, 10e-15);
+  // Delay to `left`: right's cap loads only the shared stem segment.
+  const double tau_left = t.elmore_tau_s(left, 0.0);
+  EXPECT_NEAR(tau_left, 100.0 * 20e-15 + 100.0 * 10e-15, 1e-21);
+  EXPECT_DOUBLE_EQ(tau_left, t.elmore_tau_s(right, 0.0));
+}
+
+TEST(RcTree, DistributedWireApproachesHalfRC) {
+  // A distributed line's own Elmore constant tends to R*C/2.
+  const tech::WireRC rc =
+      tech::wire_rc(tech::itrs_node(tech::Node::k45nm),
+                    tech::WireTier::kIntermediate);
+  const double len = 200e-6;
+  RCTree t;
+  const int end = t.add_wire(0, rc, len, 32);
+  const double tau = t.elmore_tau_s(end, 0.0);
+  const double rc_half = rc.r_per_m * len * rc.c_per_m() * len / 2.0;
+  EXPECT_NEAR(tau, rc_half, rc_half * 0.05);
+}
+
+TEST(RcTree, MoreLoadMoreDelay) {
+  RCTree t;
+  const int end = t.add_child(0, 100.0, 10e-15);
+  const double d0 = t.elmore_delay_s(end, 500.0);
+  t.add_cap(end, 10e-15);
+  EXPECT_GT(t.elmore_delay_s(end, 500.0), d0);
+}
+
+TEST(RcTree, TotalCap) {
+  RCTree t;
+  t.add_child(0, 1.0, 3e-15);
+  t.add_cap(0, 2e-15);
+  EXPECT_NEAR(t.total_cap_f(), 5e-15, 1e-21);
+}
+
+TEST(RcTree, ZeroLengthWireIsNoOp) {
+  RCTree t;
+  const tech::WireRC rc{1e6, 1e-10, 1e-10};
+  EXPECT_EQ(t.add_wire(0, rc, 0.0, 4), 0);
+}
+
+TEST(RcTree, InvalidArgsThrow) {
+  RCTree t;
+  EXPECT_THROW(t.add_child(5, 1.0, 1e-15), std::out_of_range);
+  EXPECT_THROW(t.add_child(0, -1.0, 1e-15), std::invalid_argument);
+  EXPECT_THROW(t.add_cap(7, 1e-15), std::out_of_range);
+  EXPECT_THROW(t.elmore_tau_s(9, 0.0), std::out_of_range);
+  const tech::WireRC rc{1e6, 1e-10, 1e-10};
+  EXPECT_THROW(t.add_wire(0, rc, 1e-6, 0), std::invalid_argument);
+  EXPECT_THROW(t.add_wire(0, rc, -1e-6, 4), std::invalid_argument);
+}
+
+// Elmore delay must be monotone in wire length for any segment count.
+class WireLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireLengthSweep, MonotoneInLength) {
+  const tech::WireRC rc =
+      tech::wire_rc(tech::itrs_node(tech::Node::k45nm),
+                    tech::WireTier::kIntermediate);
+  const int segments = GetParam();
+  double prev = 0.0;
+  for (double len = 50e-6; len <= 400e-6; len += 50e-6) {
+    RCTree t;
+    const int end = t.add_wire(0, rc, len, segments);
+    const double d = t.elmore_delay_s(end, 300.0);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, WireLengthSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace lain::circuit

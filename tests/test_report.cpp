@@ -1,0 +1,46 @@
+#include "power/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/design_point.hpp"
+
+namespace lain::power {
+namespace {
+
+TEST(Report, PenaltyFormatting) {
+  EXPECT_EQ(format_penalty(0.0), "No");
+  EXPECT_EQ(format_penalty(1e-12), "No");
+  EXPECT_EQ(format_penalty(0.0469), "4.69%");
+  EXPECT_EQ(format_penalty(0.0228), "2.28%");
+}
+
+TEST(Report, Table1ContainsAllRowsAndSchemes) {
+  core::DesignPoint dp(xbar::table1_spec());
+  const std::string t = format_table1(dp.all());
+  for (const char* label :
+       {"High to Low delay", "Low to High / Precharge", "Active Leakage",
+        "Standby Leakage", "Minimum Idle Time", "Total Power",
+        "Delay Penalty"}) {
+    EXPECT_NE(t.find(label), std::string::npos) << label;
+  }
+  for (const char* s : {"SC", "DFC", "DPC", "SDFC", "SDPC"}) {
+    EXPECT_NE(t.find(s), std::string::npos) << s;
+  }
+}
+
+TEST(Report, Table1RequiresScFirst) {
+  core::DesignPoint dp(xbar::table1_spec());
+  std::vector<xbar::Characterization> wrong = {dp.of(xbar::Scheme::kDFC)};
+  EXPECT_THROW(format_table1(wrong), std::invalid_argument);
+  EXPECT_THROW(format_table1({}), std::invalid_argument);
+}
+
+TEST(Report, Summary) {
+  core::DesignPoint dp(xbar::table1_spec());
+  const std::string s = format_summary(dp.of(xbar::Scheme::kDPC));
+  EXPECT_NE(s.find("DPC"), std::string::npos);
+  EXPECT_NE(s.find("minIdle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lain::power

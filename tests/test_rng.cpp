@@ -1,0 +1,59 @@
+#include "noc/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformityRough) {
+  Rng r(11);
+  int buckets[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[static_cast<int>(r.next_double() * 10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  Rng r2(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r2.bernoulli(0.0));
+  }
+}
+
+TEST(Rng, NextBelowBound) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(25), 25u);
+  }
+}
+
+}  // namespace
+}  // namespace lain::noc

@@ -1,0 +1,117 @@
+#include "power/sleep_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::power {
+namespace {
+
+GatedBlockCosts costs(double idle_w = 10e-3, double standby_w = 2e-3,
+                      double entry_j = 5e-12, double exit_j = 5e-12,
+                      double f = 1e9) {
+  return GatedBlockCosts{idle_w, standby_w, entry_j, exit_j, f};
+}
+
+TEST(GatedBlockCosts, MinIdleBreakeven) {
+  // saving/cycle = 8 pJ; penalty = 10 pJ -> ceil(1.25) = 2 cycles.
+  EXPECT_EQ(costs().min_idle_cycles(), 2);
+  // Huge penalty -> long breakeven.
+  EXPECT_EQ(costs(10e-3, 2e-3, 40e-12, 40e-12).min_idle_cycles(), 10);
+  // No saving -> gating never pays: sentinel.
+  EXPECT_EQ(costs(2e-3, 2e-3).min_idle_cycles(), 999);
+  EXPECT_EQ(costs(1e-3, 2e-3).min_idle_cycles(), 999);
+}
+
+TEST(SleepController, GatesAfterThreshold) {
+  SleepPolicy p;
+  p.idle_threshold_cycles = 3;
+  SleepController c(p, costs());
+  EXPECT_EQ(c.tick(true), ActivityState::kActive);
+  EXPECT_EQ(c.tick(false), ActivityState::kIdle);
+  EXPECT_EQ(c.tick(false), ActivityState::kIdle);
+  EXPECT_FALSE(c.is_gated());
+  EXPECT_EQ(c.tick(false), ActivityState::kIdle);  // threshold reached
+  EXPECT_TRUE(c.is_gated());
+  EXPECT_EQ(c.tick(false), ActivityState::kStandby);
+  EXPECT_EQ(c.transitions(), 1);
+}
+
+TEST(SleepController, WakeupLatencyStalls) {
+  SleepPolicy p;
+  p.idle_threshold_cycles = 1;
+  p.wakeup_latency_cycles = 2;
+  SleepController c(p, costs());
+  c.tick(false);  // gates immediately
+  ASSERT_TRUE(c.is_gated());
+  // Demand arrives: two standby cycles are observed before wake.
+  EXPECT_EQ(c.tick(true), ActivityState::kStandby);
+  EXPECT_TRUE(c.is_gated());
+  EXPECT_EQ(c.tick(true), ActivityState::kStandby);
+  EXPECT_FALSE(c.is_gated());
+  EXPECT_EQ(c.tick(true), ActivityState::kActive);
+}
+
+TEST(SleepController, LongIdleSavesEnergy) {
+  SleepPolicy p = breakeven_policy(costs());
+  SleepController c(p, costs());
+  c.tick(true);
+  for (int i = 0; i < 1000; ++i) c.tick(false);
+  c.tick(true);
+  c.tick(true);
+  EXPECT_GT(c.realized_saving_j(), 0.0);
+  EXPECT_GT(c.standby_cycles(), 900);
+}
+
+TEST(SleepController, ThrashingLosesEnergy) {
+  // Idle runs exactly at threshold followed by immediate demand: every
+  // gating transition pays the penalty and recovers almost nothing.
+  SleepPolicy p;
+  p.idle_threshold_cycles = 1;
+  p.wakeup_latency_cycles = 0;
+  SleepController c(p, costs(10e-3, 9.9e-3, 50e-12, 50e-12));
+  for (int i = 0; i < 200; ++i) {
+    c.tick(false);  // gate (pays entry)
+    c.tick(true);   // immediate wake (pays exit)
+  }
+  EXPECT_LT(c.realized_saving_j(), 0.0);
+}
+
+TEST(SleepController, DisabledPolicyNeverGates) {
+  SleepPolicy p = breakeven_policy(costs(2e-3, 2e-3));  // never pays off
+  EXPECT_FALSE(p.enabled);
+  SleepController c(p, costs(2e-3, 2e-3));
+  for (int i = 0; i < 100; ++i) c.tick(false);
+  EXPECT_FALSE(c.is_gated());
+  EXPECT_EQ(c.standby_cycles(), 0);
+}
+
+TEST(SleepController, BreakevenPolicyUsesMinIdle) {
+  const SleepPolicy p = breakeven_policy(costs());
+  EXPECT_EQ(p.idle_threshold_cycles, 2);
+  EXPECT_TRUE(p.enabled);
+}
+
+TEST(SleepController, BadConfigThrows) {
+  SleepPolicy p;
+  p.idle_threshold_cycles = 0;
+  EXPECT_THROW(SleepController(p, costs()), std::invalid_argument);
+  p.idle_threshold_cycles = 1;
+  p.wakeup_latency_cycles = -1;
+  EXPECT_THROW(SleepController(p, costs()), std::invalid_argument);
+  p.wakeup_latency_cycles = 1;
+  GatedBlockCosts bad = costs();
+  bad.freq_hz = 0.0;
+  EXPECT_THROW(SleepController(p, bad), std::invalid_argument);
+}
+
+TEST(SleepController, UngatedReferenceTracksIdleOnly) {
+  SleepPolicy p;
+  p.idle_threshold_cycles = 5;
+  SleepController c(p, costs(10e-3, 2e-3, 0, 0, 1e9));
+  c.tick(true);   // active: no reference leakage billed
+  c.tick(false);  // idle: 10 pJ
+  c.tick(false);
+  EXPECT_NEAR(c.ungated_reference_j(), 20e-12, 1e-18);
+}
+
+}  // namespace
+}  // namespace lain::power

@@ -1,0 +1,65 @@
+#include "noc/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+TEST(Accumulator, Moments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 6.0}) a.add(x);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_NEAR(a.variance(), 8.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Histogram, MeanAndPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);
+  for (int i = 0; i < 10; ++i) h.add(100);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 19.0);
+  EXPECT_EQ(h.percentile(0.5), 10);
+  EXPECT_EQ(h.percentile(0.95), 100);
+  EXPECT_EQ(h.percentile(0.89), 10);
+}
+
+TEST(Histogram, FractionAtLeast) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(10);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(11), 0.0);
+}
+
+TEST(Histogram, EmptySafe) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(1), 0.0);
+}
+
+TEST(SimStats, Throughput) {
+  SimStats st;
+  st.flits_ejected = 1000;
+  st.measured_cycles = 500;
+  st.num_nodes = 10;
+  EXPECT_DOUBLE_EQ(st.throughput_flits_per_node_cycle(), 0.2);
+  st.measured_cycles = 0;
+  EXPECT_DOUBLE_EQ(st.throughput_flits_per_node_cycle(), 0.0);
+}
+
+}  // namespace
+}  // namespace lain::noc

@@ -1,0 +1,76 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain::noc {
+namespace {
+
+SimConfig small_mesh() {
+  SimConfig cfg;
+  cfg.radix_x = 3;
+  cfg.radix_y = 3;
+  cfg.vcs = 2;
+  return cfg;
+}
+
+TEST(Topology, ConstructsAllNodes) {
+  Network net(small_mesh());
+  EXPECT_EQ(net.num_nodes(), 9);
+  for (NodeId n = 0; n < 9; ++n) {
+    EXPECT_EQ(net.router(n).id(), n);
+  }
+}
+
+TEST(Topology, StartsEmpty) {
+  Network net(small_mesh());
+  EXPECT_EQ(net.flits_in_flight(), 0);
+}
+
+TEST(Topology, CreditsInitializedToDepth) {
+  SimConfig cfg = small_mesh();
+  cfg.vc_depth_flits = 6;
+  Network net(cfg);
+  // Every output port VC starts with the downstream buffer depth.
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg.vcs; ++v) {
+      EXPECT_EQ(net.router(4).credits(p, v), 6);  // center node: all ports
+    }
+  }
+}
+
+TEST(Topology, TorusBuilds) {
+  SimConfig cfg = small_mesh();
+  cfg.topology = TopologyKind::kTorus;
+  cfg.vcs = 2;
+  EXPECT_NO_THROW(Network net(cfg));
+}
+
+TEST(Topology, InvalidConfigThrows) {
+  SimConfig cfg = small_mesh();
+  cfg.radix_x = 1;
+  EXPECT_THROW(Network net(cfg), std::invalid_argument);
+  cfg = small_mesh();
+  cfg.topology = TopologyKind::kTorus;
+  cfg.vcs = 1;  // dateline needs 2
+  EXPECT_THROW(Network net(cfg), std::invalid_argument);
+}
+
+TEST(Topology, FlitTravelsAcrossOneLink) {
+  // Inject directly via the NIC and watch it cross to the neighbor.
+  SimConfig cfg = small_mesh();
+  Network net(cfg);
+  net.nic(0).source_packet(/*dst=*/1, /*now=*/0, /*id=*/1);
+  // Run enough cycles for inject -> route -> traverse -> eject.
+  bool delivered = false;
+  for (Cycle t = 0; t < 30 && !delivered; ++t) {
+    for (NodeId n = 0; n < net.num_nodes(); ++n) net.nic(n).tick(t);
+    for (NodeId n = 0; n < net.num_nodes(); ++n) net.router(n).tick();
+    delivered = net.nic(1).packets_ejected() > 0;
+    net.tick_channels();
+  }
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.nic(1).flits_ejected(), cfg.packet_length_flits);
+}
+
+}  // namespace
+}  // namespace lain::noc

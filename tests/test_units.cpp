@@ -1,0 +1,51 @@
+#include "tech/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lain {
+namespace {
+
+using namespace lain::units;
+
+TEST(Units, LengthLiterals) {
+  EXPECT_DOUBLE_EQ(1.0_nm, 1e-9);
+  EXPECT_DOUBLE_EQ(140.0_nm, 1.4e-7);
+  EXPECT_DOUBLE_EQ(1.0_um, 1e-6);
+  EXPECT_DOUBLE_EQ(2.5_mm, 2.5e-3);
+  EXPECT_DOUBLE_EQ(3_um, 3e-6);  // integer literal form
+}
+
+TEST(Units, TimeAndCapLiterals) {
+  EXPECT_DOUBLE_EQ(61.4_ps, 61.4e-12);
+  EXPECT_DOUBLE_EQ(1.0_ns, 1e-9);
+  EXPECT_DOUBLE_EQ(0.19_fF, 0.19e-15);
+  EXPECT_DOUBLE_EQ(1.0_pF, 1e-12);
+}
+
+TEST(Units, ElectricalLiterals) {
+  EXPECT_DOUBLE_EQ(1.0_kohm, 1000.0);
+  EXPECT_DOUBLE_EQ(250.0_mV, 0.25);
+  EXPECT_DOUBLE_EQ(6.3_uA, 6.3e-6);
+  EXPECT_DOUBLE_EQ(400.0_nA, 4e-7);
+  EXPECT_DOUBLE_EQ(182.81_mW, 0.18281);
+  EXPECT_DOUBLE_EQ(3.0_GHz, 3e9);
+}
+
+TEST(Units, ReadbackHelpers) {
+  EXPECT_NEAR(to_ps(61.4e-12), 61.4, 1e-9);
+  EXPECT_NEAR(to_fF(0.19e-15), 0.19, 1e-9);
+  EXPECT_NEAR(to_mW(0.18281), 182.81, 1e-9);
+  EXPECT_NEAR(to_um(1.792e-4), 179.2, 1e-6);
+  EXPECT_NEAR(to_uA(6.3e-6), 6.3, 1e-9);
+  EXPECT_NEAR(to_pJ(3.2e-12), 3.2, 1e-9);
+}
+
+TEST(Units, ThermalVoltage) {
+  // kT/q at room temperature ~ 25.85 mV; at 110 C ~ 33 mV.
+  EXPECT_NEAR(phys::thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_NEAR(phys::thermal_voltage(383.0), 0.03301, 1e-4);
+  EXPECT_GT(phys::thermal_voltage(383.0), phys::thermal_voltage(300.0));
+}
+
+}  // namespace
+}  // namespace lain
