@@ -1,47 +1,21 @@
 // E5 — segmentation ablation: the paper claims (Sec 3) that
 // segmenting reduces leakage *further* — "by 20% and 30% in SDFC and
-// SDPC" — and also mitigates dynamic power.  This bench isolates the
-// segmentation deltas: DFC vs SDFC and DPC vs SDPC on every power
-// component.
+// SDPC" — and also mitigates dynamic power.  Thin wrapper over
+// core::segmentation_ablation, isolating the segmentation deltas
+// (DFC vs SDFC, DPC vs SDPC) on every power component.
 
 #include <cstdio>
 
-#include "core/design_point.hpp"
-#include "tech/units.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
-using namespace lain::xbar;
-
-namespace {
-
-void compare(const Characterization& flat, const Characterization& seg) {
-  auto pct = [](double base, double v) { return 100.0 * (1.0 - v / base); };
-  std::printf("%s -> %s\n", scheme_name(flat.scheme).data(),
-              scheme_name(seg.scheme).data());
-  std::printf("  active leakage : %8.2f -> %8.2f mW  (%+.1f%% further cut)\n",
-              to_mW(flat.active_leakage_w), to_mW(seg.active_leakage_w),
-              pct(flat.active_leakage_w, seg.active_leakage_w));
-  std::printf("  standby leakage: %8.2f -> %8.2f mW  (%+.1f%%)\n",
-              to_mW(flat.standby_leakage_w), to_mW(seg.standby_leakage_w),
-              pct(flat.standby_leakage_w, seg.standby_leakage_w));
-  std::printf("  dynamic power  : %8.2f -> %8.2f mW  (%+.1f%%)\n",
-              to_mW(flat.dynamic_power_w), to_mW(seg.dynamic_power_w),
-              pct(flat.dynamic_power_w, seg.dynamic_power_w));
-  std::printf("  total power    : %8.2f -> %8.2f mW  (%+.1f%%)\n\n",
-              to_mW(flat.total_power_w), to_mW(seg.total_power_w),
-              pct(flat.total_power_w, seg.total_power_w));
-}
-
-}  // namespace
+using namespace lain::core;
 
 int main() {
   std::printf("E5: segmentation ablation (paper: 'leakage power is further "
               "reduced by 20%% and 30%% in SDFC and SDPC')\n\n");
-  core::DesignPoint dp(table1_spec());
-  compare(dp.of(Scheme::kDFC), dp.of(Scheme::kSDFC));
-  compare(dp.of(Scheme::kDPC), dp.of(Scheme::kSDPC));
-
-  std::printf("Mechanisms (Sec 2.3/2.4): shorter switched wires, slack-"
+  const SweepEngine engine(0);
+  std::printf("%s", segmentation_ablation(engine).to_text().c_str());
+  std::printf("\nMechanisms (Sec 2.3/2.4): shorter switched wires, slack-"
               "funded extra high-Vt devices,\nper-segment standby of the "
               "idle wire half, tri-state stacking of parked drivers.\n");
   return 0;

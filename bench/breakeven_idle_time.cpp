@@ -1,61 +1,27 @@
 // E6 — Minimum Idle Time breakeven analysis (Table 1, row 5).
 // For each scheme: sleep penalty, per-cycle standby saving, the
 // resulting minimum idle time, and a sweep of net energy vs actual
-// idle-run length showing where gating starts to pay.
+// idle-run length showing where gating starts to pay.  Thin wrapper
+// over the core::breakeven_* suite.
 
 #include <cstdio>
 
-#include "core/design_point.hpp"
-#include "power/sleep_controller.hpp"
-#include "tech/units.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
-using namespace lain::xbar;
+using namespace lain::core;
 
 int main() {
   std::printf("E6: Minimum Idle Time breakeven (paper row: SC 3, DFC 2, "
               "DPC 1, SDFC 3, SDPC 1)\n\n");
-  core::DesignPoint dp(table1_spec());
-  const double f = dp.spec().freq_hz;
-
-  std::printf("%-6s %12s %14s %12s\n", "scheme", "penalty (pJ)",
-              "saving (pJ/cyc)", "min idle");
-  for (Scheme s : all_schemes()) {
-    const Characterization& c = dp.of(s);
-    std::printf("%-6s %12.2f %14.2f %12d\n", scheme_name(s).data(),
-                to_pJ(c.sleep_penalty_j()),
-                to_pJ(c.standby_saving_per_cycle_j(f)), c.min_idle_cycles);
-  }
+  const SweepEngine engine(0);
+  std::printf("%s", breakeven_table(engine).to_text().c_str());
 
   std::printf("\nNet energy of gating one idle run of N cycles "
-              "(negative = loss), in pJ:\n%-6s", "N");
-  for (Scheme s : all_schemes()) std::printf("%10s", scheme_name(s).data());
-  std::printf("\n");
-  for (int n = 1; n <= 10; ++n) {
-    std::printf("%-6d", n);
-    for (Scheme s : all_schemes()) {
-      const Characterization& c = dp.of(s);
-      const double net =
-          n * c.standby_saving_per_cycle_j(f) - c.sleep_penalty_j();
-      std::printf("%10.2f", to_pJ(net));
-    }
-    std::printf("\n");
-  }
+              "(negative = loss), in pJ:\n");
+  std::printf("%s", breakeven_net_energy(engine).to_text().c_str());
 
   std::printf("\nTimeout-policy check (threshold = min idle), idle run of "
               "50 cycles:\n");
-  for (Scheme s : all_schemes()) {
-    const Characterization& c = dp.of(s);
-    power::GatedBlockCosts costs{c.idle_leakage_w, c.standby_leakage_w,
-                                 c.sleep_entry_energy_j, c.wakeup_energy_j, f};
-    power::SleepController ctl(power::breakeven_policy(costs), costs);
-    ctl.tick(true);
-    for (int i = 0; i < 50; ++i) ctl.tick(false);
-    ctl.tick(true);
-    ctl.tick(true);
-    std::printf("  %-5s realized saving: %8.2f pJ (standby cycles: %ld)\n",
-                scheme_name(s).data(), to_pJ(ctl.realized_saving_j()),
-                static_cast<long>(ctl.standby_cycles()));
-  }
+  std::printf("%s", breakeven_policy_check().to_text().c_str());
   return 0;
 }

@@ -1,56 +1,24 @@
 // E12 (extension) — process corner and temperature sensitivity of the
 // Table-1 results.  Leakage-aware design is only credible if the
 // savings survive across corners: fast silicon leaks most (and gains
-// most), hot silicon dominates the standby story.
+// most), hot silicon dominates the standby story.  Thin wrapper over
+// core::corner_sweep / core::corner_device_report.
 
 #include <cstdio>
 
-#include "tech/corners.hpp"
-#include "tech/units.hpp"
-#include "xbar/characterize.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
-using namespace lain::xbar;
+using namespace lain::core;
 
 int main() {
   std::printf("E12: temperature sensitivity of the leakage rows "
               "(5x5 crossbar, 45 nm)\n\n");
+  const CornerSweepOptions opt;  // 25/70/110 C x SC/DFC/DPC/SDPC
+  const SweepEngine engine(0);
+  std::printf("%s", corner_sweep(opt, engine).to_text().c_str());
 
-  std::printf("%-8s %-6s %14s %14s %12s\n", "temp C", "scheme", "active mW",
-              "standby mW", "act saving");
-  for (double temp_c : {25.0, 70.0, 110.0}) {
-    CrossbarSpec spec = table1_spec();
-    spec.temp_k = temp_c + 273.0;
-    const Characterization base = characterize(spec, Scheme::kSC);
-    for (Scheme s : {Scheme::kSC, Scheme::kDFC, Scheme::kDPC, Scheme::kSDPC}) {
-      const Characterization c = characterize(spec, s);
-      std::printf("%-8.0f %-6s %14.3f %14.3f %11.1f%%\n", temp_c,
-                  scheme_name(s).data(), to_mW(c.active_leakage_w),
-                  to_mW(c.standby_leakage_w),
-                  s == Scheme::kSC
-                      ? 0.0
-                      : 100.0 * relative_saving(base.active_leakage_w,
-                                                c.active_leakage_w));
-    }
-    std::printf("\n");
-  }
-
-  std::printf("Device-level corner check (1 um NMOS, nominal Vt):\n");
-  const tech::TechNode& node = tech::itrs_node(tech::Node::k45nm);
-  for (tech::Corner corner :
-       {tech::Corner::kSS, tech::Corner::kTT, tech::Corner::kFF}) {
-    tech::OperatingPoint op;
-    op.corner = corner;
-    const tech::DeviceModel m = tech::make_device_model(node, op);
-    const tech::Mosfet n{tech::DeviceType::kNmos, tech::VtClass::kNominal,
-                         1e-6};
-    const tech::Mosfet h{tech::DeviceType::kNmos, tech::VtClass::kHigh, 1e-6};
-    std::printf("  %-2s: Ioff %7.2f uA/um (high-Vt %6.2f), Ion %5.2f mA/um, "
-                "dual-Vt leakage ratio %.1fx\n",
-                tech::corner_name(corner), to_uA(m.ioff_a(n)),
-                to_uA(m.ioff_a(h)), m.ion_a(n) * 1e3 / 1.0,
-                m.ioff_a(n) / m.ioff_a(h));
-  }
+  std::printf("\nDevice-level corner check (1 um NMOS, nominal Vt):\n");
+  std::printf("%s", corner_device_report().to_text().c_str());
   std::printf("\nThe dual-Vt leakage ratio (the paper's lever) holds "
               "across corners; savings are\nlargest exactly where leakage "
               "hurts most (FF, hot).\n");

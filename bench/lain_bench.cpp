@@ -1,0 +1,207 @@
+// lain_bench — unified experiment CLI over the parallel sweep engine.
+//
+//   lain_bench <subcommand> [--threads N] [--csv] [axis flags...]
+//
+// Subcommands (the E-numbers refer to EXPERIMENTS.md / the bench/
+// executables they replace):
+//   injection_sweep     E8  powered-NoC latency/power sweep
+//   idle_histogram      E9  crossbar idle-run distribution
+//   corner_sweep        E12 temperature / process-corner sensitivity
+//   node_scaling        E11 90/65/45 nm technology scaling
+//   static_probability  E7  total power vs P[bit = 1]
+//   breakeven           E6  Minimum Idle Time breakeven analysis
+//   segmentation        E5  DFC->SDFC / DPC->SDPC ablation
+//   table1              E1  the paper's Table 1
+//
+// Axis flags take comma lists or start:stop:step ranges, e.g.
+//   lain_bench injection_sweep --threads 8 --rates 0.05:0.45:0.05
+//       --patterns uniform,transpose,tornado --schemes all --replicates 3
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "core/bench_suite.hpp"
+#include "core/cli.hpp"
+#include "core/leakage_aware.hpp"
+
+using namespace lain;
+using namespace lain::core;
+
+namespace {
+
+int usage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: lain_bench <subcommand> [flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  injection_sweep     powered-NoC latency/power sweep (E8)\n"
+      "  idle_histogram      crossbar idle-run distribution (E9)\n"
+      "  corner_sweep        temperature/corner sensitivity (E12)\n"
+      "  node_scaling        technology-node scaling (E11)\n"
+      "  static_probability  total power vs static probability (E7)\n"
+      "  breakeven           Minimum Idle Time breakeven (E6)\n"
+      "  segmentation        segmentation ablation (E5)\n"
+      "  table1              the paper's Table 1 (E1)\n"
+      "\n"
+      "common flags:\n"
+      "  --threads N         worker threads (0 = all cores; default 1)\n"
+      "  --csv               emit CSV instead of the text table\n"
+      "  --schemes LIST      e.g. sc,dpc,sdpc or 'all'\n"
+      "  --patterns LIST     uniform,transpose,bitcomp,bitrev,hotspot,\n"
+      "                      tornado,neighbor\n"
+      "  --rates SPEC        comma list or start:stop:step, e.g. "
+      "0.05:0.45:0.05\n"
+      "  --temps SPEC        temperatures in C (corner_sweep)\n"
+      "  --probabilities SPEC  static probabilities (static_probability)\n"
+      "  --seed S            base RNG seed (default 1)\n"
+      "  --replicates K      derive K independent seeds from --seed\n"
+      "  --no-gating         disable the Minimum-Idle-Time sleep policy\n");
+  return out == stderr ? 2 : 0;
+}
+
+void emit(const ReportTable& table, bool csv) {
+  const std::string s = csv ? table.to_csv() : table.to_text();
+  std::fputs(s.c_str(), stdout);
+}
+
+std::vector<std::uint64_t> seeds_from(const ArgParser& args) {
+  const std::uint64_t base = args.get_u64("seed", 1);
+  const int replicates = args.get_int("replicates", 1);
+  if (replicates <= 1) return {base};
+  SweepAxes axes;
+  axes.replicates(replicates, base);
+  return axes.seeds;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+
+  const std::vector<std::string> value_flags = {
+      "threads", "schemes", "patterns",   "rates",
+      "temps",   "probabilities", "seed", "replicates"};
+  const std::vector<std::string> switch_flags = {"csv", "no-gating"};
+  const ArgParser args(argc - 2, argv + 2, value_flags, switch_flags);
+  if (!args.positionals().empty()) {
+    throw std::invalid_argument("unexpected argument: " +
+                                args.positionals().front() +
+                                " (flags are spelled --flag)");
+  }
+  const SweepEngine engine(args.get_int("threads", 1));
+  const bool csv = args.has("csv");
+
+  if (cmd == "injection_sweep") {
+    NocSweepOptions opt;
+    opt.schemes = parse_schemes(args.get("schemes", "all"));
+    opt.patterns = parse_patterns(args.get("patterns", "uniform,transpose"));
+    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
+    opt.seeds = seeds_from(args);
+    opt.gating = !args.has("no-gating");
+    if (!csv)
+      std::printf("E8: 5x5 mesh, 2 VCs, 4-flit packets; crossbar power "
+                  "integrated per cycle (%d thread%s)\n\n",
+                  engine.threads(), engine.threads() == 1 ? "" : "s");
+    emit(injection_sweep(opt, engine), csv);
+    return 0;
+  }
+  if (cmd == "idle_histogram") {
+    IdleHistogramOptions opt;
+    opt.patterns = parse_patterns(args.get("patterns", "uniform"));
+    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
+    opt.seeds = seeds_from(args);
+    if (!csv)
+      std::printf("E9: crossbar idle-run distribution, 5x5 mesh "
+                  "(%d thread%s)\n\n",
+                  engine.threads(), engine.threads() == 1 ? "" : "s");
+    emit(idle_histogram(opt, engine), csv);
+    return 0;
+  }
+  if (cmd == "corner_sweep") {
+    CornerSweepOptions opt;
+    opt.temps_c = parse_range(args.get("temps", "25,70,110"));
+    opt.schemes = parse_schemes(args.get("schemes", "sc,dfc,dpc,sdpc"));
+    if (!csv)
+      std::printf("E12: temperature sensitivity of the leakage rows "
+                  "(5x5 crossbar, 45 nm)\n\n");
+    emit(corner_sweep(opt, engine), csv);
+    if (!csv) {
+      std::printf("\nDevice-level corner check (1 um NMOS):\n");
+      emit(corner_device_report(), csv);
+    }
+    return 0;
+  }
+  if (cmd == "node_scaling") {
+    NodeScalingOptions opt;
+    opt.schemes = parse_schemes(args.get("schemes", "sc,dpc,sdpc"));
+    if (!csv)
+      std::printf("E11: crossbar power across technology nodes (5x5, "
+                  "128-bit, 3 GHz)\n\n");
+    emit(node_scaling(opt, engine), csv);
+    if (!csv) {
+      std::printf("\nActive-leakage saving vs SC, by node:\n");
+      emit(node_scaling_savings(opt, engine), csv);
+    }
+    return 0;
+  }
+  if (cmd == "static_probability") {
+    StaticProbabilityOptions opt;
+    const std::string ps = args.get("probabilities", "");
+    if (!ps.empty()) opt.probabilities = parse_range(ps);
+    opt.schemes = parse_schemes(args.get("schemes", "all"));
+    if (!csv)
+      std::printf("E7: total power (mW) vs static probability "
+                  "p = P[bit = 1]\n\n");
+    emit(static_probability(opt, engine), csv);
+    if (!csv) {
+      std::printf("\nWorst-case check:\n");
+      emit(static_probability_worst_case(engine), csv);
+    }
+    return 0;
+  }
+  if (cmd == "breakeven") {
+    if (!csv)
+      std::printf("E6: Minimum Idle Time breakeven (paper row: SC 3, DFC 2, "
+                  "DPC 1, SDFC 3, SDPC 1)\n\n");
+    emit(breakeven_table(engine), csv);
+    if (!csv) {
+      std::printf("\nNet energy of gating one idle run of N cycles (pJ):\n");
+      emit(breakeven_net_energy(engine), csv);
+      std::printf("\nTimeout-policy check (threshold = min idle, 50-cycle "
+                  "idle run):\n");
+      emit(breakeven_policy_check(), csv);
+    }
+    return 0;
+  }
+  if (cmd == "segmentation") {
+    if (!csv)
+      std::printf("E5: segmentation ablation (paper: 'leakage power is "
+                  "further reduced by 20%% and 30%% in SDFC and SDPC')\n\n");
+    emit(segmentation_ablation(engine), csv);
+    return 0;
+  }
+  if (cmd == "table1") {
+    const Table1 t = make_table1();
+    std::printf("%s\n", t.formatted.c_str());
+    if (!csv)
+      std::printf("Paper vs measured:\n%s\n", format_comparison(t).c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown subcommand: %s\n\n", cmd.c_str());
+  return usage(stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lain_bench: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,39 +1,23 @@
 // E9 (extension) — idle-run-length distribution of the router
-// crossbars under real traffic.  This is the quantity the Minimum
-// Idle Time row gates on: gating only converts idle runs at least
-// N_min cycles long into standby.  Prints the distribution and the
-// gateable fraction per scheme threshold.
+// crossbars under real traffic: the quantity the Minimum Idle Time
+// policy gates on.  Thin wrapper over core::idle_histogram; the
+// ">=Ncyc" columns are the gateable fractions for each Table-1
+// threshold (DPC/SDPC 1, DFC 2, SC/SDFC 3).
 
 #include <cstdio>
 
-#include "core/experiments.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
 using namespace lain::core;
 
 int main() {
   std::printf("E9: crossbar idle-run distribution, 5x5 mesh, uniform "
               "traffic\n\n");
-  for (double rate : {0.05, 0.15, 0.30}) {
-    const noc::Histogram h =
-        idle_run_histogram(rate, noc::TrafficPattern::kUniform);
-    std::printf("rate %.2f: %lld idle runs, mean %.1f cycles, p50 %lld, "
-                "p95 %lld\n",
-                rate, static_cast<long long>(h.count()), h.mean(),
-                static_cast<long long>(h.percentile(0.5)),
-                static_cast<long long>(h.percentile(0.95)));
-    // Fraction of idle runs long enough for each Table-1 threshold.
-    for (int n : {1, 2, 3}) {
-      std::printf("  runs >= %d cycles (min idle of %s): %5.1f%%\n", n,
-                  n == 1   ? "DPC/SDPC"
-                  : n == 2 ? "DFC"
-                           : "SC/SDFC",
-                  100.0 * h.fraction_at_least(n));
-    }
-    std::printf("\n");
-  }
-  std::printf("Long idle runs dominate at low load: this is why the paper's "
-              "standby savings\n(up to 95.96%%) are realizable in a real "
-              "router, not just on paper.\n");
+  const IdleHistogramOptions opt;  // uniform, rates 0.05/0.15/0.30
+  const SweepEngine engine(0);
+  std::printf("%s", idle_histogram(opt, engine).to_text().c_str());
+  std::printf("\nLong idle runs dominate at low load: this is why the "
+              "paper's standby savings\n(up to 95.96%%) are realizable in a "
+              "real router, not just on paper.\n");
   return 0;
 }

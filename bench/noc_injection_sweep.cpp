@@ -1,45 +1,26 @@
 // E8 (extension) — NoC-level evaluation: 5x5 mesh of routers whose
 // crossbars use each scheme; injection-rate sweep under uniform and
-// transpose traffic.  Reports latency, realized crossbar power, the
-// standby fraction the Minimum-Idle-Time policy achieves, and the
-// realized saving vs never gating — the system-level payoff of the
-// paper's circuit techniques.
+// transpose traffic.  Thin wrapper over core::injection_sweep — the
+// unified lain_bench CLI exposes the same experiment with scriptable
+// axes and a thread pool.
 
 #include <cstdio>
 
-#include "core/experiments.hpp"
-#include "tech/units.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
 using namespace lain::core;
-
-namespace {
-
-void sweep(noc::TrafficPattern pattern) {
-  std::printf("--- traffic: %s ---\n", noc::traffic_name(pattern));
-  std::printf("%-6s %-6s %9s %9s %10s %8s %10s\n", "scheme", "rate", "lat",
-              "thr", "xbar mW", "stby%", "saved mW");
-  for (xbar::Scheme s : xbar::all_schemes()) {
-    for (double rate : {0.05, 0.15, 0.30}) {
-      const NocRunResult r = run_powered_noc(s, rate, pattern);
-      std::printf("%-6s %-6.2f %9.2f %9.3f %10.2f %8.1f %10.2f%s\n",
-                  scheme_name(s).data(), rate, r.avg_packet_latency_cycles,
-                  r.throughput_flits_node_cycle,
-                  to_mW(r.crossbar_power_w), 100.0 * r.standby_fraction,
-                  to_mW(r.realized_saving_w), r.saturated ? "  [sat]" : "");
-    }
-  }
-  std::printf("\n");
-}
-
-}  // namespace
 
 int main() {
   std::printf("E8: 5x5 mesh, 25 routers, 2 VCs, 4-flit packets; crossbar "
               "power integrated per cycle\n(xbar mW = avg crossbar power "
               "across the fabric; saved = realized standby saving vs "
               "never gating)\n\n");
-  sweep(noc::TrafficPattern::kUniform);
-  sweep(noc::TrafficPattern::kTranspose);
+  NocSweepOptions opt;
+  const auto all = lain::xbar::all_schemes();
+  opt.schemes.assign(all.begin(), all.end());
+  opt.patterns = {lain::noc::TrafficPattern::kUniform,
+                  lain::noc::TrafficPattern::kTranspose};
+  const SweepEngine engine(0);  // all cores
+  std::printf("%s", injection_sweep(opt, engine).to_text().c_str());
   return 0;
 }

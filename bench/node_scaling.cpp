@@ -1,57 +1,27 @@
 // E11 (extension) — technology-node scaling: the paper's motivation
 // ("in the deep sub-micron era, interconnect wires and associated
 // driver circuits consume an increasing fraction of the energy
-// budget") quantified.  Sweeps the crossbar across 90/65/45 nm and
-// reports how leakage's share of total power grows toward 45 nm — and
-// how much of it each scheme recovers.
+// budget") quantified.  Thin wrapper over core::node_scaling /
+// core::node_scaling_savings.
 
 #include <cstdio>
 
-#include "tech/units.hpp"
-#include "xbar/characterize.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
-using namespace lain::xbar;
+using namespace lain::core;
 
 int main() {
   std::printf("E11: crossbar power across technology nodes (5x5, 128-bit, "
               "3 GHz, p = 0.5, 110 C)\n\n");
-  const tech::Node nodes[] = {tech::Node::k90nm, tech::Node::k65nm,
-                              tech::Node::k45nm};
+  const NodeScalingOptions opt;  // 90/65/45 nm x SC/DPC/SDPC
+  const SweepEngine engine(0);
+  std::printf("%s", node_scaling(opt, engine).to_text().c_str());
 
-  std::printf("%-6s %-6s %12s %12s %12s %10s\n", "node", "scheme",
-              "dynamic mW", "leakage mW", "total mW", "leak share");
-  for (tech::Node n : nodes) {
-    for (Scheme s : {Scheme::kSC, Scheme::kDPC, Scheme::kSDPC}) {
-      CrossbarSpec spec = table1_spec();
-      spec.node = n;
-      const Characterization c = characterize(spec, s);
-      const double leak_share = c.active_leakage_w / c.total_power_w;
-      std::printf("%-6s %-6s %12.2f %12.2f %12.2f %9.1f%%\n",
-                  tech::itrs_node(n).name.data(), scheme_name(s).data(),
-                  to_mW(c.dynamic_power_w + c.control_power_w),
-                  to_mW(c.active_leakage_w), to_mW(c.total_power_w),
-                  100.0 * leak_share);
-    }
-    std::printf("\n");
-  }
-
-  std::printf("Scheme savings vs SC, by node (active leakage):\n");
-  std::printf("%-6s", "node");
-  for (Scheme s : all_schemes()) std::printf("%10s", scheme_name(s).data());
-  std::printf("\n");
-  for (tech::Node n : nodes) {
-    CrossbarSpec spec = table1_spec();
-    spec.node = n;
-    const Characterization base = characterize(spec, Scheme::kSC);
-    std::printf("%-6s", tech::itrs_node(n).name.data());
-    for (Scheme s : all_schemes()) {
-      const Characterization c = characterize(spec, s);
-      std::printf("%9.1f%%", 100.0 * relative_saving(base.active_leakage_w,
-                                                     c.active_leakage_w));
-    }
-    std::printf("\n");
-  }
+  std::printf("\nScheme savings vs SC, by node (active leakage):\n");
+  NodeScalingOptions savings_opt;  // the savings matrix shows all five
+  const auto all = lain::xbar::all_schemes();
+  savings_opt.schemes.assign(all.begin(), all.end());
+  std::printf("%s", node_scaling_savings(savings_opt, engine).to_text().c_str());
   std::printf("\nLeakage's share of crossbar power grows toward 45 nm, so "
               "the absolute value of the\npaper's techniques grows with "
               "scaling — the trend its introduction argues from.\n");

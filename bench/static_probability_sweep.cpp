@@ -1,52 +1,26 @@
 // E7 — static-probability sweep (Table 1 footnote: "The power
 // consumptions are obtained by assuming 50% static probability which
-// is the worst case for power").  Sweeps P[data=1] from 0.1 to 0.9 and
-// reports total power per scheme: the precharged schemes' worst case
-// sits at low p (many discharges), and they win big when traffic is
+// is the worst case for power").  Thin wrapper over
+// core::static_probability: the precharged schemes' worst case sits
+// at low p (many discharges), and they win big when traffic is
 // 1-polarized — the conclusion's "systems which have major data
 // transfers within the same polarity".
 
 #include <cstdio>
 
-#include "tech/units.hpp"
-#include "xbar/characterize.hpp"
+#include "core/bench_suite.hpp"
 
-using namespace lain;
-using namespace lain::xbar;
+using namespace lain::core;
 
 int main() {
   std::printf("E7: total power (mW) vs static probability p = P[bit = 1]\n\n");
-  std::printf("%-6s", "p");
-  for (Scheme s : all_schemes()) std::printf("%10s", scheme_name(s).data());
-  std::printf("\n");
+  StaticProbabilityOptions opt;  // p = 0.1 .. 0.9 by default
+  const auto all = lain::xbar::all_schemes();
+  opt.schemes.assign(all.begin(), all.end());
+  const SweepEngine engine(0);
+  std::printf("%s", static_probability(opt, engine).to_text().c_str());
 
-  for (double p = 0.1; p <= 0.91; p += 0.1) {
-    std::printf("%-6.1f", p);
-    for (Scheme s : all_schemes()) {
-      CrossbarSpec spec = table1_spec();
-      spec.static_probability = p;
-      const Characterization c = characterize(spec, s);
-      std::printf("%10.2f", to_mW(c.total_power_w));
-    }
-    std::printf("\n");
-  }
-
-  // Verify the footnote: p=0.5 is the worst case for the random-data
-  // (non-precharged) schemes; precharged schemes are worst at low p.
   std::printf("\nWorst-case check:\n");
-  for (Scheme s : all_schemes()) {
-    double worst_p = 0.0, worst = 0.0;
-    for (double p = 0.05; p <= 0.96; p += 0.05) {
-      CrossbarSpec spec = table1_spec();
-      spec.static_probability = p;
-      const double w = characterize(spec, s).total_power_w;
-      if (w > worst) {
-        worst = w;
-        worst_p = p;
-      }
-    }
-    std::printf("  %-5s worst case at p = %.2f (%.2f mW)\n",
-                scheme_name(s).data(), worst_p, to_mW(worst));
-  }
+  std::printf("%s", static_probability_worst_case(engine).to_text().c_str());
   return 0;
 }

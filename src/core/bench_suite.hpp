@@ -1,0 +1,91 @@
+// bench_suite.hpp — the experiment implementations behind bench/ and
+// the unified lain_bench CLI.
+//
+// Each experiment expands its axes through SweepAxes, executes the
+// resulting job list on a SweepEngine, and folds the records into a
+// ReportTable.  The bench mains and lain_bench subcommands are thin
+// wrappers: axes in, table out — no per-experiment loop or printf
+// formatting left in the executables.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reporting.hpp"
+#include "core/sweep.hpp"
+#include "tech/itrs.hpp"
+
+namespace lain::core {
+
+// --- E8: powered-NoC injection sweep ---------------------------------------
+struct NocSweepOptions {
+  std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDFC,
+                                    xbar::Scheme::kDPC, xbar::Scheme::kSDFC,
+                                    xbar::Scheme::kSDPC};
+  std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
+  std::vector<double> rates{0.05, 0.15, 0.30};
+  std::vector<std::uint64_t> seeds{1};
+  bool gating = true;
+};
+// Columns: pattern scheme rate [seed] lat thr xbar-mW stby% saved-mW.
+// The seed column appears only with more than one replicate.
+ReportTable injection_sweep(const NocSweepOptions& opt,
+                            const SweepEngine& engine);
+
+// --- E9: crossbar idle-run-length distribution -----------------------------
+struct IdleHistogramOptions {
+  std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
+  std::vector<double> rates{0.05, 0.15, 0.30};
+  std::vector<std::uint64_t> seeds{1};
+};
+// Columns: pattern rate runs mean p50 p95 + gateable fraction >= 1/2/3.
+ReportTable idle_histogram(const IdleHistogramOptions& opt,
+                           const SweepEngine& engine);
+
+// --- E12: temperature / corner sensitivity ---------------------------------
+struct CornerSweepOptions {
+  std::vector<double> temps_c{25.0, 70.0, 110.0};
+  std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDFC,
+                                    xbar::Scheme::kDPC, xbar::Scheme::kSDPC};
+};
+ReportTable corner_sweep(const CornerSweepOptions& opt,
+                         const SweepEngine& engine);
+// Device-level SS/TT/FF check (1 um NMOS): Ioff, high-Vt Ioff, Ion,
+// dual-Vt leakage ratio.
+ReportTable corner_device_report();
+
+// --- E11: technology-node scaling ------------------------------------------
+struct NodeScalingOptions {
+  std::vector<tech::Node> nodes{tech::Node::k90nm, tech::Node::k65nm,
+                                tech::Node::k45nm};
+  std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDPC,
+                                    xbar::Scheme::kSDPC};
+};
+ReportTable node_scaling(const NodeScalingOptions& opt,
+                         const SweepEngine& engine);
+// Savings-vs-SC matrix: one row per node, one column per scheme.
+ReportTable node_scaling_savings(const NodeScalingOptions& opt,
+                                 const SweepEngine& engine);
+
+// --- E7: static-probability sweep ------------------------------------------
+struct StaticProbabilityOptions {
+  std::vector<double> probabilities;  // empty = 0.1 .. 0.9
+  std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDFC,
+                                    xbar::Scheme::kDPC, xbar::Scheme::kSDFC,
+                                    xbar::Scheme::kSDPC};
+};
+ReportTable static_probability(const StaticProbabilityOptions& opt,
+                               const SweepEngine& engine);
+// Worst-case p per scheme (the Table-1 footnote check).
+ReportTable static_probability_worst_case(const SweepEngine& engine);
+
+// --- E6: Minimum Idle Time breakeven ---------------------------------------
+ReportTable breakeven_table(const SweepEngine& engine);
+ReportTable breakeven_net_energy(const SweepEngine& engine, int max_idle = 10);
+ReportTable breakeven_policy_check(int idle_run_cycles = 50);
+
+// --- E5: segmentation ablation ---------------------------------------------
+ReportTable segmentation_ablation(const SweepEngine& engine);
+
+}  // namespace lain::core

@@ -1,0 +1,56 @@
+// cli.hpp — tiny argument parser and axis-spec parsing for the
+// unified lain_bench CLI.  Kept in the library (not in bench/) so the
+// parsing rules are unit-tested.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "xbar/scheme.hpp"
+
+namespace lain::core {
+
+// GNU-ish "--flag value" / "--flag=value" / bare-positional parser.
+// `value_flags` take a value (the "=..." part or the next token);
+// `switch_flags` are boolean and never consume the next token.
+// Unknown flags throw std::invalid_argument at construction so typos
+// fail loudly instead of silently running the default sweep.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv,
+            const std::vector<std::string>& value_flags,
+            const std::vector<std::string>& switch_flags = {});
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& flag) const;
+  // Value of --flag; `fallback` when absent.  A flag given without a
+  // value (end of argv or next token is another flag) yields "".
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  int get_int(const std::string& flag, int fallback) const;
+  std::uint64_t get_u64(const std::string& flag, std::uint64_t fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;
+  std::vector<std::string> positionals_;
+};
+
+// "a,b,c" -> {"a","b","c"}; empty input -> {}.
+std::vector<std::string> split_csv(const std::string& s);
+
+// Numeric axis spec: either "start:stop:step" (inclusive stop, with a
+// half-step tolerance against FP drift) or a comma list "0.05,0.1".
+std::vector<double> parse_range(const std::string& spec);
+
+// Named axes.  All throw std::invalid_argument on unknown names;
+// "all" expands to every scheme.
+std::vector<xbar::Scheme> parse_schemes(const std::string& csv);
+std::vector<noc::TrafficPattern> parse_patterns(const std::string& csv);
+
+xbar::Scheme scheme_from_name(const std::string& name);
+
+}  // namespace lain::core

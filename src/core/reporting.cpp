@@ -1,0 +1,132 @@
+#include "core/reporting.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace lain::core {
+
+namespace {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+// CSV cells keep full precision so downstream tooling is not limited
+// by the text table's display rounding.
+std::string csv_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+ReportTable& ReportTable::add_column(std::string header, int width,
+                                     Align align) {
+  if (!rows_.empty())
+    throw std::logic_error("add_column after rows were added");
+  columns_.push_back(ColumnSpec{std::move(header), width, align});
+  return *this;
+}
+
+ReportTable& ReportTable::begin_row() {
+  if (!rows_.empty() && rows_.back().size() != columns_.size())
+    throw std::logic_error("previous row is incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+ReportTable& ReportTable::cell(std::string text) {
+  if (rows_.empty()) throw std::logic_error("cell before begin_row");
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("row has more cells than columns");
+  rows_.back().push_back(Cell{text, csv_escape(text)});
+  return *this;
+}
+
+ReportTable& ReportTable::cell(double value, int precision) {
+  if (rows_.empty()) throw std::logic_error("cell before begin_row");
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("row has more cells than columns");
+  rows_.back().push_back(Cell{format_double(value, precision),
+                              csv_double(value)});
+  return *this;
+}
+
+ReportTable& ReportTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+ReportTable& ReportTable::cell_pct(double fraction, int precision) {
+  if (rows_.empty()) throw std::logic_error("cell before begin_row");
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("row has more cells than columns");
+  rows_.back().push_back(Cell{format_double(100.0 * fraction, precision) + "%",
+                              csv_double(fraction)});
+  return *this;
+}
+
+ReportTable& ReportTable::tag_last(const std::string& marker) {
+  if (rows_.empty() || rows_.back().empty())
+    throw std::logic_error("tag_last with no cell");
+  rows_.back().back().text += marker;
+  return *this;
+}
+
+std::string ReportTable::to_text() const {
+  std::string out;
+  auto pad = [&](const std::string& s, const ColumnSpec& col, bool last) {
+    const int w = col.width;
+    const int fill = w > static_cast<int>(s.size())
+                         ? w - static_cast<int>(s.size())
+                         : 0;
+    if (col.align == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (col.align == Align::kLeft && !last) out.append(fill, ' ');
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ' ';
+    pad(columns_[c].header, columns_[c], c + 1 == columns_.size());
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ' ';
+      pad(row[c].text, columns_[c], c + 1 == row.size());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ReportTable::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += csv_escape(columns_[c].header);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += row[c].csv;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lain::core

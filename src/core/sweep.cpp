@@ -1,0 +1,95 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "noc/rng.hpp"
+
+namespace lain::core {
+
+std::size_t SweepAxes::size() const {
+  return schemes.size() * patterns.size() * injection_rates.size() *
+         temps_c.size() * seeds.size();
+}
+
+std::vector<SweepPoint> SweepAxes::expand() const {
+  std::vector<SweepPoint> points;
+  points.reserve(size());
+  for (noc::TrafficPattern pattern : patterns) {
+    for (xbar::Scheme scheme : schemes) {
+      for (double rate : injection_rates) {
+        for (double temp : temps_c) {
+          for (std::uint64_t seed : seeds) {
+            SweepPoint p;
+            p.index = points.size();
+            p.scheme = scheme;
+            p.pattern = pattern;
+            p.injection_rate = rate;
+            p.temp_c = temp;
+            p.seed = seed;
+            points.push_back(p);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepAxes& SweepAxes::replicates(int n, std::uint64_t base) {
+  seeds.clear();
+  for (int k = 0; k < n; ++k)
+    seeds.push_back(noc::mix_seed(base, static_cast<std::uint64_t>(k)));
+  return *this;
+}
+
+SweepEngine::SweepEngine(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw ? static_cast<int>(hw) : 1;
+  }
+}
+
+void SweepEngine::run(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::size_t first_error_index = n;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lain::core

@@ -1,0 +1,94 @@
+// sweep.hpp — the parallel experiment-sweep engine.
+//
+// Every bench executable used to carry its own nested for-loops over
+// scheme / rate / pattern / temperature and print as it went, which
+// (a) duplicated the loop logic 11 times and (b) pinned every
+// experiment to one core.  SweepEngine replaces that: SweepAxes
+// expands the experiment axes into an ordered job list, the engine
+// executes the jobs on a std::thread pool, and results come back in
+// job order — so the output of a sweep is bit-identical no matter how
+// many threads ran it or in which order jobs finished.
+//
+// Determinism contract: a job's inputs (including its RNG seed, via
+// noc::mix_seed) depend only on the expanded point, never on thread
+// scheduling.  Tests pin this down (tests/test_sweep.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "noc/config.hpp"
+#include "xbar/scheme.hpp"
+
+namespace lain::core {
+
+// One expanded experiment point: the cartesian product element plus
+// its stable position in the job list and its derived RNG seed.
+struct SweepPoint {
+  std::size_t index = 0;  // position in SweepAxes::expand() order
+  xbar::Scheme scheme = xbar::Scheme::kSC;
+  noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
+  double injection_rate = 0.0;
+  double temp_c = 110.0;
+  std::uint64_t seed = 1;  // the simulation seed for this point
+};
+
+// The experiment axes.  expand() produces the cartesian product in a
+// fixed lexicographic order (pattern, scheme, rate, temperature,
+// seed) — the order the reports group rows in.
+struct SweepAxes {
+  std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC};
+  std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
+  std::vector<double> injection_rates{0.1};
+  std::vector<double> temps_c{110.0};
+  std::vector<std::uint64_t> seeds{1};
+
+  std::size_t size() const;
+  std::vector<SweepPoint> expand() const;
+
+  // Replaces the seed axis with `n` independent replicate seeds
+  // derived deterministically from `base` (noc::mix_seed).
+  SweepAxes& replicates(int n, std::uint64_t base = 1);
+};
+
+// Fixed-size std::thread pool executing an indexed job list.
+class SweepEngine {
+ public:
+  // threads <= 0 means hardware_concurrency (at least 1).
+  explicit SweepEngine(int threads = 1);
+
+  int threads() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n).  Jobs are claimed from an
+  // atomic counter; the call returns once all jobs finished.  If jobs
+  // threw, the exception of the lowest-indexed failing job is
+  // rethrown on the calling thread.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  // As run(), but collects each job's return value; results are
+  // ordered by job index regardless of execution interleaving.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(n);
+    run(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  // Convenience: map over expanded axes.
+  template <typename R>
+  std::vector<R> map_points(
+      const SweepAxes& axes,
+      const std::function<R(const SweepPoint&)>& fn) const {
+    const std::vector<SweepPoint> points = axes.expand();
+    return map<R>(points.size(),
+                  [&](std::size_t i) { return fn(points[i]); });
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace lain::core

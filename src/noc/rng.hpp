@@ -11,6 +11,17 @@
 
 namespace lain::noc {
 
+// Derives an independent, deterministic seed for stream `stream` of a
+// base seed (SplitMix64 finalizer over the pair).  Sweep jobs use this
+// to give every replicate its own reproducible stream: the derived
+// seed depends only on (base, stream), never on thread scheduling.
+constexpr std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
