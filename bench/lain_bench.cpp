@@ -1,6 +1,7 @@
 // lain_bench — unified experiment CLI over the parallel sweep engine.
 //
-//   lain_bench <subcommand> [--threads N] [--csv] [axis flags...]
+//   lain_bench <subcommand> [--threads N] [--sim-threads N]
+//              [--csv | --json] [--out FILE] [axis flags...]
 //
 // Subcommands (the E-numbers refer to EXPERIMENTS.md / the bench/
 // executables they replace):
@@ -8,14 +9,20 @@
 //   idle_histogram      E9  crossbar idle-run distribution
 //   corner_sweep        E12 temperature / process-corner sensitivity
 //   node_scaling        E11 90/65/45 nm technology scaling
+//   mesh_vs_torus       mesh vs torus topology comparison
+//   mesh_scaling        sharded-kernel node-count scaling
 //   static_probability  E7  total power vs P[bit = 1]
 //   breakeven           E6  Minimum Idle Time breakeven analysis
 //   segmentation        E5  DFC->SDFC / DPC->SDPC ablation
 //   table1              E1  the paper's Table 1
 //
-// Axis flags take comma lists or start:stop:step ranges, e.g.
+// --threads parallelizes across sweep jobs; --sim-threads shards one
+// simulation across a thread-pool kernel (stats are bit-identical at
+// any value).  Axis flags take comma lists or start:stop:step ranges:
 //   lain_bench injection_sweep --threads 8 --rates 0.05:0.45:0.05
 //       --patterns uniform,transpose,tornado --schemes all --replicates 3
+//   lain_bench injection_sweep --patterns hotspot --hotspot-fracs
+//       0.1:0.5:0.1 --burst-duties 0.25,0.5,1.0 --json --out sweep.json
 
 #include <cstdio>
 #include <exception>
@@ -41,19 +48,30 @@ int usage(FILE* out) {
       "  idle_histogram      crossbar idle-run distribution (E9)\n"
       "  corner_sweep        temperature/corner sensitivity (E12)\n"
       "  node_scaling        technology-node scaling (E11)\n"
+      "  mesh_vs_torus       mesh vs torus topology comparison\n"
+      "  mesh_scaling        sharded-kernel node-count scaling\n"
       "  static_probability  total power vs static probability (E7)\n"
       "  breakeven           Minimum Idle Time breakeven (E6)\n"
       "  segmentation        segmentation ablation (E5)\n"
       "  table1              the paper's Table 1 (E1)\n"
       "\n"
       "common flags:\n"
-      "  --threads N         worker threads (0 = all cores; default 1)\n"
+      "  --threads N         sweep worker threads (0 = all cores; default 1)\n"
+      "  --sim-threads N     shards per simulation (1 = serial kernel,\n"
+      "                      0 = auto-shard by radix; stats bit-identical)\n"
       "  --csv               emit CSV instead of the text table\n"
+      "  --json              emit a JSON row array\n"
+      "  --out FILE          write the table to FILE instead of stdout\n"
       "  --schemes LIST      e.g. sc,dpc,sdpc or 'all'\n"
       "  --patterns LIST     uniform,transpose,bitcomp,bitrev,hotspot,\n"
       "                      tornado,neighbor\n"
       "  --rates SPEC        comma list or start:stop:step, e.g. "
       "0.05:0.45:0.05\n"
+      "  --hotspot-fracs SPEC  hotspot traffic shares (hotspot pattern)\n"
+      "  --burst-duties SPEC   on-off duty cycles (1.0 = steady)\n"
+      "  --burst-on-mean N   mean ON dwell in cycles (default 50)\n"
+      "  --radices LIST      square fabric radices (mesh_vs_torus,\n"
+      "                      mesh_scaling), e.g. 8,16\n"
       "  --temps SPEC        temperatures in C (corner_sweep)\n"
       "  --probabilities SPEC  static probabilities (static_probability)\n"
       "  --seed S            base RNG seed (default 1)\n"
@@ -62,9 +80,35 @@ int usage(FILE* out) {
   return out == stderr ? 2 : 0;
 }
 
-void emit(const ReportTable& table, bool csv) {
-  const std::string s = csv ? table.to_csv() : table.to_text();
-  std::fputs(s.c_str(), stdout);
+enum class Format { kText, kCsv, kJson };
+
+struct Output {
+  Format format = Format::kText;
+  std::string path;  // empty = stdout
+
+  void emit(const ReportTable& table) const {
+    switch (format) {
+      case Format::kText: write_output(path, table.to_text()); break;
+      case Format::kCsv: write_output(path, table.to_csv()); break;
+      case Format::kJson: write_output(path, table.to_json()); break;
+    }
+  }
+  bool text() const { return format == Format::kText; }
+};
+
+// Strict single-integer flag: rejects trailing junk ("2,4") that
+// std::stoi would silently truncate.  mesh_scaling is the only
+// subcommand that takes --sim-threads as a list.
+int get_single_int(const ArgParser& args, const std::string& flag,
+                   int fallback) {
+  const std::string v = args.get(flag, "");
+  if (v.empty()) return fallback;
+  const std::vector<int> parsed = parse_int_list(v);
+  if (parsed.size() != 1) {
+    throw std::invalid_argument("--" + flag +
+                                " takes a single integer here: " + v);
+  }
+  return parsed.front();
 }
 
 std::vector<std::uint64_t> seeds_from(const ArgParser& args) {
@@ -82,68 +126,124 @@ int run(int argc, char** argv) {
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
 
   const std::vector<std::string> value_flags = {
-      "threads", "schemes", "patterns",   "rates",
-      "temps",   "probabilities", "seed", "replicates"};
-  const std::vector<std::string> switch_flags = {"csv", "no-gating"};
+      "threads",       "sim-threads",  "schemes", "patterns",
+      "rates",         "hotspot-fracs", "burst-duties", "burst-on-mean",
+      "radices",       "temps",        "probabilities", "seed",
+      "replicates",    "out"};
+  const std::vector<std::string> switch_flags = {"csv", "json", "no-gating"};
   const ArgParser args(argc - 2, argv + 2, value_flags, switch_flags);
   if (!args.positionals().empty()) {
     throw std::invalid_argument("unexpected argument: " +
                                 args.positionals().front() +
                                 " (flags are spelled --flag)");
   }
-  const SweepEngine engine(args.get_int("threads", 1));
-  const bool csv = args.has("csv");
+  const SweepEngine engine(get_single_int(args, "threads", 1));
+  // mesh_scaling parses --sim-threads itself, as a list.
+  const int sim_threads =
+      cmd == "mesh_scaling" ? 1 : get_single_int(args, "sim-threads", 1);
+  if (args.has("csv") && args.has("json")) {
+    throw std::invalid_argument("--csv and --json are mutually exclusive");
+  }
+  Output out;
+  if (args.has("csv")) out.format = Format::kCsv;
+  if (args.has("json")) out.format = Format::kJson;
+  out.path = args.get("out", "");
 
   if (cmd == "injection_sweep") {
     NocSweepOptions opt;
     opt.schemes = parse_schemes(args.get("schemes", "all"));
     opt.patterns = parse_patterns(args.get("patterns", "uniform,transpose"));
     opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
+    opt.hotspot_fracs = parse_range(args.get("hotspot-fracs", "0.2"));
+    opt.burst_duties = parse_range(args.get("burst-duties", "1.0"));
+    opt.burst_on_mean_cycles = args.get_double("burst-on-mean", 50.0);
     opt.seeds = seeds_from(args);
     opt.gating = !args.has("no-gating");
-    if (!csv)
+    opt.sim_threads = sim_threads;
+    if (out.text())
       std::printf("E8: 5x5 mesh, 2 VCs, 4-flit packets; crossbar power "
                   "integrated per cycle (%d thread%s)\n\n",
                   engine.threads(), engine.threads() == 1 ? "" : "s");
-    emit(injection_sweep(opt, engine), csv);
+    out.emit(injection_sweep(opt, engine));
     return 0;
   }
   if (cmd == "idle_histogram") {
     IdleHistogramOptions opt;
     opt.patterns = parse_patterns(args.get("patterns", "uniform"));
     opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
+    opt.hotspot_fracs = parse_range(args.get("hotspot-fracs", "0.2"));
+    opt.burst_duties = parse_range(args.get("burst-duties", "1.0"));
+    opt.burst_on_mean_cycles = args.get_double("burst-on-mean", 50.0);
     opt.seeds = seeds_from(args);
-    if (!csv)
+    opt.sim_threads = sim_threads;
+    if (out.text())
       std::printf("E9: crossbar idle-run distribution, 5x5 mesh "
                   "(%d thread%s)\n\n",
                   engine.threads(), engine.threads() == 1 ? "" : "s");
-    emit(idle_histogram(opt, engine), csv);
+    out.emit(idle_histogram(opt, engine));
+    return 0;
+  }
+  if (cmd == "mesh_vs_torus") {
+    MeshVsTorusOptions opt;
+    opt.radices = parse_int_list(args.get("radices", "4,8"));
+    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
+    opt.patterns = parse_patterns(args.get("patterns", "uniform,tornado"));
+    const std::vector<xbar::Scheme> schemes =
+        parse_schemes(args.get("schemes", "sdpc"));
+    if (schemes.size() != 1) {
+      throw std::invalid_argument(
+          "mesh_vs_torus takes a single scheme (the comparison axis is "
+          "topology)");
+    }
+    opt.scheme = schemes.front();
+    opt.seed = args.get_u64("seed", 1);
+    opt.gating = !args.has("no-gating");
+    opt.sim_threads = sim_threads;
+    if (out.text())
+      std::printf("Mesh vs torus (%s crossbars; tornado is the classic "
+                  "torus-friendly adversary)\n\n",
+                  std::string(xbar::scheme_name(opt.scheme)).c_str());
+    out.emit(mesh_vs_torus(opt, engine));
+    return 0;
+  }
+  if (cmd == "mesh_scaling") {
+    MeshScalingOptions opt;
+    opt.radices = parse_int_list(args.get("radices", "8,16"));
+    opt.sim_threads = parse_int_list(args.get("sim-threads", "1,2,4"));
+    opt.injection_rate = parse_range(args.get("rates", "0.05")).front();
+    opt.pattern = parse_patterns(args.get("patterns", "uniform")).front();
+    opt.seed = args.get_u64("seed", 1);
+    if (out.text())
+      std::printf("Sharded-kernel scaling: one simulation timed per "
+                  "(radix, shard count); 'match' pins bit-identical "
+                  "stats vs the first row\n\n");
+    out.emit(mesh_scaling(opt));
     return 0;
   }
   if (cmd == "corner_sweep") {
     CornerSweepOptions opt;
     opt.temps_c = parse_range(args.get("temps", "25,70,110"));
     opt.schemes = parse_schemes(args.get("schemes", "sc,dfc,dpc,sdpc"));
-    if (!csv)
+    if (out.text())
       std::printf("E12: temperature sensitivity of the leakage rows "
                   "(5x5 crossbar, 45 nm)\n\n");
-    emit(corner_sweep(opt, engine), csv);
-    if (!csv) {
+    out.emit(corner_sweep(opt, engine));
+    if (out.text() && out.path.empty()) {
       std::printf("\nDevice-level corner check (1 um NMOS):\n");
-      emit(corner_device_report(), csv);
+      out.emit(corner_device_report());
     }
     return 0;
   }
   if (cmd == "node_scaling") {
     NodeScalingOptions opt;
     opt.schemes = parse_schemes(args.get("schemes", "sc,dpc,sdpc"));
-    if (!csv)
+    if (out.text())
       std::printf("E11: crossbar power across technology nodes (5x5, "
                   "128-bit, 3 GHz)\n\n");
-    emit(node_scaling(opt, engine), csv);
-    if (!csv) {
+    out.emit(node_scaling(opt, engine));
+    if (out.text() && out.path.empty()) {
       std::printf("\nActive-leakage saving vs SC, by node:\n");
-      emit(node_scaling_savings(opt, engine), csv);
+      out.emit(node_scaling_savings(opt, engine));
     }
     return 0;
   }
@@ -152,41 +252,46 @@ int run(int argc, char** argv) {
     const std::string ps = args.get("probabilities", "");
     if (!ps.empty()) opt.probabilities = parse_range(ps);
     opt.schemes = parse_schemes(args.get("schemes", "all"));
-    if (!csv)
+    if (out.text())
       std::printf("E7: total power (mW) vs static probability "
                   "p = P[bit = 1]\n\n");
-    emit(static_probability(opt, engine), csv);
-    if (!csv) {
+    out.emit(static_probability(opt, engine));
+    if (out.text() && out.path.empty()) {
       std::printf("\nWorst-case check:\n");
-      emit(static_probability_worst_case(engine), csv);
+      out.emit(static_probability_worst_case(engine));
     }
     return 0;
   }
   if (cmd == "breakeven") {
-    if (!csv)
+    if (out.text())
       std::printf("E6: Minimum Idle Time breakeven (paper row: SC 3, DFC 2, "
                   "DPC 1, SDFC 3, SDPC 1)\n\n");
-    emit(breakeven_table(engine), csv);
-    if (!csv) {
+    out.emit(breakeven_table(engine));
+    if (out.text() && out.path.empty()) {
       std::printf("\nNet energy of gating one idle run of N cycles (pJ):\n");
-      emit(breakeven_net_energy(engine), csv);
+      out.emit(breakeven_net_energy(engine));
       std::printf("\nTimeout-policy check (threshold = min idle, 50-cycle "
                   "idle run):\n");
-      emit(breakeven_policy_check(), csv);
+      out.emit(breakeven_policy_check());
     }
     return 0;
   }
   if (cmd == "segmentation") {
-    if (!csv)
+    if (out.text())
       std::printf("E5: segmentation ablation (paper: 'leakage power is "
                   "further reduced by 20%% and 30%% in SDFC and SDPC')\n\n");
-    emit(segmentation_ablation(engine), csv);
+    out.emit(segmentation_ablation(engine));
     return 0;
   }
   if (cmd == "table1") {
+    if (!out.text()) {
+      throw std::invalid_argument(
+          "table1 emits a preformatted text table; --csv/--json are not "
+          "supported here");
+    }
     const Table1 t = make_table1();
-    std::printf("%s\n", t.formatted.c_str());
-    if (!csv)
+    write_output(out.path, t.formatted + "\n");
+    if (out.path.empty())
       std::printf("Paper vs measured:\n%s\n", format_comparison(t).c_str());
     return 0;
   }

@@ -2,7 +2,9 @@
 // ("in the deep sub-micron era, interconnect wires and associated
 // driver circuits consume an increasing fraction of the energy
 // budget") quantified.  Thin wrapper over core::node_scaling /
-// core::node_scaling_savings.
+// core::node_scaling_savings, plus the node-count companion: the
+// sharded kernel timed on big-radix meshes, where the NoC-scale
+// idle-time statistics the leakage results hinge on become tractable.
 
 #include <cstdio>
 
@@ -25,5 +27,12 @@ int main() {
   std::printf("\nLeakage's share of crossbar power grows toward 45 nm, so "
               "the absolute value of the\npaper's techniques grows with "
               "scaling — the trend its introduction argues from.\n");
+
+  std::printf("\nNode-count scaling (sharded kernel, 16x16 mesh; 'match' "
+              "checks bit-identical stats):\n\n");
+  MeshScalingOptions mesh_opt;
+  mesh_opt.radices = {16};
+  mesh_opt.sim_threads = {1, 2, 4};
+  std::printf("%s", mesh_scaling(mesh_opt).to_text().c_str());
   return 0;
 }

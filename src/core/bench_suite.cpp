@@ -1,9 +1,11 @@
 #include "core/bench_suite.hpp"
 
+#include <chrono>
 #include <string>
 
 #include "core/design_point.hpp"
 #include "core/experiments.hpp"
+#include "noc/parallel/sharded_sim.hpp"
 #include "power/sleep_controller.hpp"
 #include "tech/corners.hpp"
 #include "tech/units.hpp"
@@ -42,19 +44,32 @@ ReportTable injection_sweep(const NocSweepOptions& opt,
   axes.schemes = opt.schemes;
   axes.patterns = opt.patterns;
   axes.injection_rates = opt.rates;
+  axes.hotspot_fractions = opt.hotspot_fracs;
+  axes.burst_duties = opt.burst_duties;
   axes.seeds = opt.seeds;
 
   const std::vector<NocRunResult> results =
       engine.map_points<NocRunResult>(axes, [&](const SweepPoint& p) {
-        return run_powered_noc(p.scheme, p.injection_rate, p.pattern,
-                               opt.gating, p.seed);
+        NocRunSpec spec;
+        spec.scheme = p.scheme;
+        spec.sim = default_mesh_config(p.injection_rate, p.pattern, p.seed);
+        spec.sim.hotspot_fraction = p.hotspot_fraction;
+        spec.sim.burst_duty = p.burst_duty;
+        spec.sim.burst_on_mean_cycles = opt.burst_on_mean_cycles;
+        spec.enable_gating = opt.gating;
+        spec.sim_threads = opt.sim_threads;
+        return run_powered_noc(spec);
       });
 
+  const bool show_hotspot = opt.hotspot_fracs.size() > 1;
+  const bool show_duty = opt.burst_duties.size() > 1;
   const bool show_seed = opt.seeds.size() > 1;
   ReportTable t;
   t.add_column("pattern", 9, Align::kLeft)
       .add_column("scheme", 6, Align::kLeft)
       .add_column("rate", 6, Align::kLeft);
+  if (show_hotspot) t.add_column("hotspot", 8, Align::kLeft);
+  if (show_duty) t.add_column("duty", 6, Align::kLeft);
   if (show_seed) t.add_column("seed", 20, Align::kLeft);
   t.add_column("lat", 9)
       .add_column("thr", 9)
@@ -71,6 +86,8 @@ ReportTable injection_sweep(const NocSweepOptions& opt,
         .cell(noc::traffic_name(p.pattern))
         .cell(scheme_str(p.scheme))
         .cell(p.injection_rate, 2);
+    if (show_hotspot) t.cell(p.hotspot_fraction, 2);
+    if (show_duty) t.cell(p.burst_duty, 2);
     if (show_seed) t.cell(std::to_string(p.seed));
     t.cell(r.avg_packet_latency_cycles, 2)
         .cell(r.throughput_flits_node_cycle, 3)
@@ -87,16 +104,27 @@ ReportTable idle_histogram(const IdleHistogramOptions& opt,
   SweepAxes axes;
   axes.patterns = opt.patterns;
   axes.injection_rates = opt.rates;
+  axes.hotspot_fractions = opt.hotspot_fracs;
+  axes.burst_duties = opt.burst_duties;
   axes.seeds = opt.seeds;
 
   const std::vector<noc::Histogram> results =
       engine.map_points<noc::Histogram>(axes, [&](const SweepPoint& p) {
-        return idle_run_histogram(p.injection_rate, p.pattern, p.seed);
+        noc::SimConfig cfg =
+            default_mesh_config(p.injection_rate, p.pattern, p.seed);
+        cfg.hotspot_fraction = p.hotspot_fraction;
+        cfg.burst_duty = p.burst_duty;
+        cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
+        return idle_run_histogram(cfg, opt.sim_threads);
       });
 
+  const bool show_hotspot = opt.hotspot_fracs.size() > 1;
+  const bool show_duty = opt.burst_duties.size() > 1;
   const bool show_seed = opt.seeds.size() > 1;
   ReportTable t;
   t.add_column("pattern", 9, Align::kLeft).add_column("rate", 6, Align::kLeft);
+  if (show_hotspot) t.add_column("hotspot", 8, Align::kLeft);
+  if (show_duty) t.add_column("duty", 6, Align::kLeft);
   if (show_seed) t.add_column("seed", 20, Align::kLeft);
   t.add_column("runs", 8)
       .add_column("mean", 8)
@@ -113,6 +141,8 @@ ReportTable idle_histogram(const IdleHistogramOptions& opt,
     t.begin_row()
         .cell(noc::traffic_name(p.pattern))
         .cell(p.injection_rate, 2);
+    if (show_hotspot) t.cell(p.hotspot_fraction, 2);
+    if (show_duty) t.cell(p.burst_duty, 2);
     if (show_seed) t.cell(std::to_string(p.seed));
     t.cell(h.count())
         .cell(h.mean(), 1)
@@ -121,6 +151,131 @@ ReportTable idle_histogram(const IdleHistogramOptions& opt,
         .cell_pct(h.fraction_at_least(1), 1)
         .cell_pct(h.fraction_at_least(2), 1)
         .cell_pct(h.fraction_at_least(3), 1);
+  }
+  return t;
+}
+
+ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+                          const SweepEngine& engine) {
+  // Job layout: (pattern, radix, rate) x {mesh, torus}.
+  struct Point {
+    noc::TrafficPattern pattern;
+    int radix;
+    double rate;
+  };
+  std::vector<Point> points;
+  for (noc::TrafficPattern pattern : opt.patterns) {
+    for (int radix : opt.radices) {
+      for (double rate : opt.rates) {
+        points.push_back(Point{pattern, radix, rate});
+      }
+    }
+  }
+
+  const std::vector<NocRunResult> results = engine.map<NocRunResult>(
+      points.size() * 2, [&](std::size_t job) {
+        const Point& p = points[job / 2];
+        const noc::TopologyKind topology = (job % 2 == 0)
+                                               ? noc::TopologyKind::kMesh
+                                               : noc::TopologyKind::kTorus;
+        NocRunSpec spec;
+        spec.scheme = opt.scheme;
+        spec.sim = make_sim_config(p.radix, topology, p.rate, p.pattern,
+                                   opt.seed);
+        spec.enable_gating = opt.gating;
+        spec.sim_threads = opt.sim_threads;
+        return run_powered_noc(spec);
+      });
+
+  ReportTable t;
+  t.add_column("pattern", 9, Align::kLeft)
+      .add_column("radix", 6, Align::kLeft)
+      .add_column("rate", 6, Align::kLeft)
+      .add_column("mesh lat", 10)
+      .add_column("torus lat", 10)
+      .add_column("mesh thr", 10)
+      .add_column("torus thr", 10)
+      .add_column("mesh mW", 9)
+      .add_column("torus mW", 9)
+      .add_column("sat", 12, Align::kLeft);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const NocRunResult& mesh = results[i * 2];
+    const NocRunResult& torus = results[i * 2 + 1];
+    std::string sat;
+    if (mesh.saturated) sat += "[mesh]";
+    if (torus.saturated) sat += "[torus]";
+    t.begin_row()
+        .cell(noc::traffic_name(p.pattern))
+        .cell(std::to_string(p.radix) + "x" + std::to_string(p.radix))
+        .cell(p.rate, 2)
+        .cell(mesh.avg_packet_latency_cycles, 2)
+        .cell(torus.avg_packet_latency_cycles, 2)
+        .cell(mesh.throughput_flits_node_cycle, 3)
+        .cell(torus.throughput_flits_node_cycle, 3)
+        .cell(to_mW(mesh.crossbar_power_w), 2)
+        .cell(to_mW(torus.crossbar_power_w), 2)
+        .cell(sat);
+  }
+  return t;
+}
+
+ReportTable mesh_scaling(const MeshScalingOptions& opt) {
+  ReportTable t;
+  t.add_column("radix", 6, Align::kLeft)
+      .add_column("nodes", 7)
+      .add_column("threads", 8)
+      .add_column("shards", 7)
+      .add_column("cycles", 8)
+      .add_column("wall ms", 9)
+      .add_column("Mnode-cyc/s", 12)
+      .add_column("speedup", 8)
+      .add_column("lat", 8)
+      .add_column("match", 6, Align::kLeft);
+
+  for (int radix : opt.radices) {
+    noc::SimConfig cfg =
+        make_sim_config(radix, noc::TopologyKind::kMesh, opt.injection_rate,
+                        opt.pattern, opt.seed);
+    cfg.warmup_cycles = opt.warmup_cycles;
+    cfg.measure_cycles = opt.measure_cycles;
+
+    double base_ms = 0.0;
+    noc::SimStats base;
+    for (std::size_t k = 0; k < opt.sim_threads.size(); ++k) {
+      const int threads = opt.sim_threads[k];
+      noc::ShardedSimulation sim(cfg, threads);
+      const auto t0 = std::chrono::steady_clock::now();
+      const noc::SimStats st = sim.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double cycles = static_cast<double>(sim.now());
+      const double mnode_cyc_s =
+          ms > 0.0 ? cycles * cfg.num_nodes() / (ms * 1e3) : 0.0;
+
+      bool match = true;
+      if (k == 0) {
+        base_ms = ms;
+        base = st;
+      } else {
+        match = st.packets_injected == base.packets_injected &&
+                st.packets_ejected == base.packets_ejected &&
+                st.packet_latency.mean() == base.packet_latency.mean() &&
+                st.hops.mean() == base.hops.mean();
+      }
+      t.begin_row()
+          .cell(std::to_string(radix) + "x" + std::to_string(radix))
+          .cell(static_cast<std::int64_t>(cfg.num_nodes()))
+          .cell(static_cast<std::int64_t>(threads))
+          .cell(static_cast<std::int64_t>(sim.num_shards()))
+          .cell(static_cast<std::int64_t>(sim.now()))
+          .cell(ms, 1)
+          .cell(mnode_cyc_s, 2)
+          .cell(k == 0 || ms <= 0.0 ? 1.0 : base_ms / ms, 2)
+          .cell(st.packet_latency.mean(), 2)
+          .cell(k == 0 ? "base" : (match ? "yes" : "NO"));
+    }
   }
   return t;
 }

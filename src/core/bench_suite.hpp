@@ -25,11 +25,18 @@ struct NocSweepOptions {
                                     xbar::Scheme::kSDPC};
   std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
   std::vector<double> rates{0.05, 0.15, 0.30};
+  // Traffic-diversity axes: hotspot share (hotspot pattern) and burst
+  // duty cycle (1.0 = unmodulated).
+  std::vector<double> hotspot_fracs{0.2};
+  std::vector<double> burst_duties{1.0};
+  double burst_on_mean_cycles = 50.0;
   std::vector<std::uint64_t> seeds{1};
   bool gating = true;
+  int sim_threads = 1;  // per-run kernel threads (see NocRunSpec)
 };
-// Columns: pattern scheme rate [seed] lat thr xbar-mW stby% saved-mW.
-// The seed column appears only with more than one replicate.
+// Columns: pattern scheme rate [hotspot] [duty] [seed] lat thr
+// xbar-mW stby% saved-mW.  Optional axis columns appear only with
+// more than one value on that axis.
 ReportTable injection_sweep(const NocSweepOptions& opt,
                             const SweepEngine& engine);
 
@@ -37,11 +44,49 @@ ReportTable injection_sweep(const NocSweepOptions& opt,
 struct IdleHistogramOptions {
   std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
   std::vector<double> rates{0.05, 0.15, 0.30};
+  std::vector<double> hotspot_fracs{0.2};
+  std::vector<double> burst_duties{1.0};
+  double burst_on_mean_cycles = 50.0;
   std::vector<std::uint64_t> seeds{1};
+  int sim_threads = 1;
 };
-// Columns: pattern rate runs mean p50 p95 + gateable fraction >= 1/2/3.
+// Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
+// gateable fraction >= 1/2/3.
 ReportTable idle_histogram(const IdleHistogramOptions& opt,
                            const SweepEngine& engine);
+
+// --- Mesh-vs-torus topology comparison -------------------------------------
+struct MeshVsTorusOptions {
+  std::vector<int> radices{4, 8};
+  std::vector<double> rates{0.05, 0.15, 0.30};
+  std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform,
+                                            noc::TrafficPattern::kTornado};
+  xbar::Scheme scheme = xbar::Scheme::kSDPC;
+  std::uint64_t seed = 1;
+  bool gating = true;
+  int sim_threads = 1;
+};
+// One row per (pattern, radix, rate): mesh and torus latency,
+// throughput and crossbar power side by side.  The torus has been
+// simulated (dateline VCs) since the seed but no bench exposed it.
+ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+                          const SweepEngine& engine);
+
+// --- Sharded-kernel node-count scaling -------------------------------------
+struct MeshScalingOptions {
+  std::vector<int> radices{8, 16};       // square mesh radix per row
+  std::vector<int> sim_threads{1, 2, 4}; // shard counts to time
+  double injection_rate = 0.05;
+  noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
+  noc::Cycle warmup_cycles = 200;
+  noc::Cycle measure_cycles = 1000;
+  std::uint64_t seed = 1;
+};
+// Times one simulation per (radix, threads) on the calling thread
+// (sequentially, so wall-clock numbers are not polluted by sibling
+// jobs) and reports Mnode-cycles/s, speedup vs the 1-thread run and
+// whether the stats matched the 1-thread run bit-for-bit.
+ReportTable mesh_scaling(const MeshScalingOptions& opt);
 
 // --- E12: temperature / corner sensitivity ---------------------------------
 struct CornerSweepOptions {

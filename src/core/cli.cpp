@@ -94,6 +94,20 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  for (const std::string& piece : split_csv(spec)) {
+    std::size_t used = 0;
+    const int v = std::stoi(piece, &used);
+    if (used != piece.size()) {
+      throw std::invalid_argument("not an integer: " + piece);
+    }
+    out.push_back(v);
+  }
+  if (out.empty()) throw std::invalid_argument("empty integer axis: " + spec);
+  return out;
+}
+
 std::vector<double> parse_range(const std::string& spec) {
   if (spec.find(':') != std::string::npos) {
     std::vector<std::string> parts;

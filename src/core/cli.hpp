@@ -42,6 +42,10 @@ class ArgParser {
 // "a,b,c" -> {"a","b","c"}; empty input -> {}.
 std::vector<std::string> split_csv(const std::string& s);
 
+// Comma list of integers ("8,16,32"); throws on empty input or
+// non-integer pieces.
+std::vector<int> parse_int_list(const std::string& spec);
+
 // Numeric axis spec: either "start:stop:step" (inclusive stop, with a
 // half-step tolerance against FP drift) or a comma list "0.05,0.1".
 std::vector<double> parse_range(const std::string& spec);

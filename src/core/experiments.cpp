@@ -1,6 +1,36 @@
 #include "core/experiments.hpp"
 
+#include <memory>
+
+#include "noc/parallel/sharded_sim.hpp"
+
 namespace lain::core {
+
+namespace {
+
+// Builds the kernel a spec asks for: serial for sim_threads == 1,
+// sharded otherwise (auto-sharded when <= 0).  Both derive SimKernel,
+// so the callers below drive them identically.
+struct KernelHandle {
+  std::unique_ptr<noc::SimKernel> kernel;
+  noc::Network* net = nullptr;
+};
+
+KernelHandle make_kernel(const noc::SimConfig& cfg, int sim_threads) {
+  KernelHandle h;
+  if (sim_threads == 1) {
+    auto sim = std::make_unique<noc::Simulation>(cfg);
+    h.net = &sim->network();
+    h.kernel = std::move(sim);
+  } else {
+    auto sim = std::make_unique<noc::ShardedSimulation>(cfg, sim_threads);
+    h.net = &sim->network();
+    h.kernel = std::move(sim);
+  }
+  return h;
+}
+
+}  // namespace
 
 NocPowerConfig default_noc_power(xbar::Scheme scheme, bool enable_gating) {
   NocPowerConfig cfg;
@@ -14,13 +44,14 @@ NocPowerConfig default_noc_power(xbar::Scheme scheme, bool enable_gating) {
   return cfg;
 }
 
-noc::SimConfig default_mesh_config(double injection_rate,
-                                   noc::TrafficPattern pattern,
-                                   std::uint64_t seed) {
+noc::SimConfig make_sim_config(int radix, noc::TopologyKind topology,
+                               double injection_rate,
+                               noc::TrafficPattern pattern,
+                               std::uint64_t seed) {
   noc::SimConfig cfg;
-  cfg.topology = noc::TopologyKind::kMesh;
-  cfg.radix_x = 5;
-  cfg.radix_y = 5;
+  cfg.topology = topology;
+  cfg.radix_x = radix;
+  cfg.radix_y = radix;
   cfg.vcs = 2;
   cfg.vc_depth_flits = 4;
   cfg.pattern = pattern;
@@ -33,17 +64,23 @@ noc::SimConfig default_mesh_config(double injection_rate,
   return cfg;
 }
 
-NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
-                             noc::TrafficPattern pattern, bool enable_gating,
-                             std::uint64_t seed) {
-  noc::Simulation sim(default_mesh_config(injection_rate, pattern, seed));
-  PoweredNoc powered(sim, default_noc_power(scheme, enable_gating));
-  const noc::SimStats stats = sim.run();
+noc::SimConfig default_mesh_config(double injection_rate,
+                                   noc::TrafficPattern pattern,
+                                   std::uint64_t seed) {
+  return make_sim_config(5, noc::TopologyKind::kMesh, injection_rate, pattern,
+                         seed);
+}
+
+NocRunResult run_powered_noc(const NocRunSpec& spec) {
+  KernelHandle h = make_kernel(spec.sim, spec.sim_threads);
+  PoweredNoc powered(*h.net, default_noc_power(spec.scheme,
+                                               spec.enable_gating));
+  const noc::SimStats stats = h.kernel->run();
 
   NocRunResult r;
-  r.scheme = scheme;
-  r.injection_rate = injection_rate;
-  r.pattern = pattern;
+  r.scheme = spec.scheme;
+  r.injection_rate = spec.sim.injection_rate;
+  r.pattern = spec.sim.pattern;
   r.avg_packet_latency_cycles = stats.packet_latency.mean();
   r.throughput_flits_node_cycle = stats.throughput_flits_per_node_cycle();
   r.network_power_w = powered.average_power_w();
@@ -53,28 +90,40 @@ NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
       cycles ? static_cast<double>(powered.standby_cycles()) / cycles : 0.0;
   const double seconds =
       cycles ? static_cast<double>(cycles) /
-                   static_cast<double>(sim.network().num_nodes()) /
+                   static_cast<double>(h.net->num_nodes()) /
                    powered.config().xbar_spec.freq_hz
              : 0.0;
   r.realized_saving_w =
       seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
-  r.saturated = sim.saturated();
+  r.saturated = h.kernel->saturated();
   return r;
+}
+
+NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
+                             noc::TrafficPattern pattern, bool enable_gating,
+                             std::uint64_t seed) {
+  NocRunSpec spec;
+  spec.scheme = scheme;
+  spec.sim = default_mesh_config(injection_rate, pattern, seed);
+  spec.enable_gating = enable_gating;
+  return run_powered_noc(spec);
+}
+
+noc::Histogram idle_run_histogram(const noc::SimConfig& cfg, int sim_threads) {
+  KernelHandle h = make_kernel(cfg, sim_threads);
+  h.kernel->run();
+  noc::Histogram merged;
+  for (noc::NodeId n = 0; n < h.net->num_nodes(); ++n) {
+    merged.merge(h.net->router(n).activity().idle_runs());
+  }
+  return merged;
 }
 
 noc::Histogram idle_run_histogram(double injection_rate,
                                   noc::TrafficPattern pattern,
                                   std::uint64_t seed) {
-  noc::Simulation sim(default_mesh_config(injection_rate, pattern, seed));
-  sim.run();
-  noc::Histogram merged;
-  for (noc::NodeId n = 0; n < sim.network().num_nodes(); ++n) {
-    for (const auto& [len, count] :
-         sim.network().router(n).activity().idle_runs().bins()) {
-      for (std::int64_t i = 0; i < count; ++i) merged.add(len);
-    }
-  }
-  return merged;
+  return idle_run_histogram(
+      default_mesh_config(injection_rate, pattern, seed));
 }
 
 }  // namespace lain::core

@@ -17,6 +17,12 @@ namespace lain::core {
 NocPowerConfig default_noc_power(xbar::Scheme scheme,
                                  bool enable_gating = true);
 
+// Canonical simulation config for a square radix x radix fabric.
+noc::SimConfig make_sim_config(int radix, noc::TopologyKind topology,
+                               double injection_rate,
+                               noc::TrafficPattern pattern,
+                               std::uint64_t seed = 1);
+
 // Canonical 5x5-mesh simulation config used by the E8/E9 experiments.
 noc::SimConfig default_mesh_config(double injection_rate,
                                    noc::TrafficPattern pattern,
@@ -36,7 +42,21 @@ struct NocRunResult {
   bool saturated = false;
 };
 
-// Runs one powered simulation (E8): mesh + scheme + injection rate.
+// Fully specified powered run: any SimConfig (topology, radix,
+// traffic-diversity knobs) plus the power scheme and the simulation
+// kernel to use.  sim_threads == 1 runs the serial kernel; > 1 runs
+// the sharded parallel kernel with that many shards; <= 0 lets the
+// kernel auto-shard by radix.  The stats — and therefore every
+// simulation-derived column — are bit-identical across all of them.
+struct NocRunSpec {
+  xbar::Scheme scheme = xbar::Scheme::kSC;
+  noc::SimConfig sim;
+  bool enable_gating = true;
+  int sim_threads = 1;
+};
+NocRunResult run_powered_noc(const NocRunSpec& spec);
+
+// Runs one powered simulation (E8): 5x5 mesh + scheme + injection rate.
 NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
                              noc::TrafficPattern pattern,
                              bool enable_gating = true,
@@ -44,6 +64,8 @@ NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
 
 // Idle-run-length histogram of every router's crossbar under the given
 // load (E9).  Returns the merged histogram.
+noc::Histogram idle_run_histogram(const noc::SimConfig& cfg,
+                                  int sim_threads = 1);
 noc::Histogram idle_run_histogram(double injection_rate,
                                   noc::TrafficPattern pattern,
                                   std::uint64_t seed = 1);

@@ -36,17 +36,17 @@ void RouterPowerHook::on_cycle(const noc::RouterEvents& ev) {
   power_.tick(pe);
 }
 
-PoweredNoc::PoweredNoc(noc::Simulation& sim, const NocPowerConfig& cfg)
+PoweredNoc::PoweredNoc(noc::Network& net, const NocPowerConfig& cfg)
     : cfg_(cfg), chars_(xbar::characterize(cfg.xbar_spec, cfg.scheme)) {
   if (cfg.xbar_spec.ports != noc::kNumPorts) {
     throw std::invalid_argument(
         "crossbar spec must have 5 ports to match the mesh router");
   }
-  const int n = sim.network().num_nodes();
+  const int n = net.num_nodes();
   hooks_.reserve(static_cast<size_t>(n));
   for (noc::NodeId i = 0; i < n; ++i) {
     hooks_.push_back(std::make_unique<RouterPowerHook>(cfg, chars_));
-    sim.network().router(i).set_power_hook(hooks_.back().get());
+    net.router(i).set_power_hook(hooks_.back().get());
   }
 }
 

@@ -39,10 +39,16 @@ class RouterPowerHook final : public noc::PowerHook {
   bool gating_;
 };
 
-// Fabric-wide power integration: owns one hook per router.
+// Fabric-wide power integration: owns one hook per router.  Works
+// with any engine exposing its Network — serial Simulation or the
+// sharded parallel kernel.  Hooks are per-router state touched only
+// inside that router's tick, so they are shard-safe and the power
+// accounts stay deterministic at any shard count.
 class PoweredNoc {
  public:
-  PoweredNoc(noc::Simulation& sim, const NocPowerConfig& cfg);
+  explicit PoweredNoc(noc::Network& net, const NocPowerConfig& cfg);
+  PoweredNoc(noc::Simulation& sim, const NocPowerConfig& cfg)
+      : PoweredNoc(sim.network(), cfg) {}
 
   const RouterPowerHook& hook(noc::NodeId n) const {
     return *hooks_.at(static_cast<size_t>(n));

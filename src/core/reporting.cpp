@@ -21,6 +21,29 @@ std::string csv_double(double value) {
   return buf;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::string csv_escape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
   std::string out = "\"";
@@ -62,12 +85,17 @@ ReportTable& ReportTable::cell(double value, int precision) {
   if (rows_.back().size() >= columns_.size())
     throw std::logic_error("row has more cells than columns");
   rows_.back().push_back(Cell{format_double(value, precision),
-                              csv_double(value)});
+                              csv_double(value), /*numeric=*/true});
   return *this;
 }
 
 ReportTable& ReportTable::cell(std::int64_t value) {
-  return cell(std::to_string(value));
+  if (rows_.empty()) throw std::logic_error("cell before begin_row");
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("row has more cells than columns");
+  const std::string s = std::to_string(value);
+  rows_.back().push_back(Cell{s, s, /*numeric=*/true});
+  return *this;
 }
 
 ReportTable& ReportTable::cell_pct(double fraction, int precision) {
@@ -75,7 +103,7 @@ ReportTable& ReportTable::cell_pct(double fraction, int precision) {
   if (rows_.back().size() >= columns_.size())
     throw std::logic_error("row has more cells than columns");
   rows_.back().push_back(Cell{format_double(100.0 * fraction, precision) + "%",
-                              csv_double(fraction)});
+                              csv_double(fraction), /*numeric=*/true});
   return *this;
 }
 
@@ -110,6 +138,39 @@ std::string ReportTable::to_text() const {
     out += '\n';
   }
   return out;
+}
+
+std::string ReportTable::to_json() const {
+  std::string out = "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n " : "\n ";
+    out += '{';
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ", ";
+      out += json_escape(columns_[c].header);
+      out += ": ";
+      // Numeric cells reuse the CSV form: full precision, and %.9g
+      // output is always a valid JSON number.
+      out += row[c].numeric ? row[c].csv : json_escape(row[c].text);
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path.empty() || path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open output file: " + path);
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
 }
 
 std::string ReportTable::to_csv() const {

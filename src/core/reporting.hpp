@@ -21,6 +21,11 @@ struct ColumnSpec {
   Align align = Align::kRight;
 };
 
+// Writes `content` to `path` ("" or "-" means stdout).  Throws
+// std::runtime_error when the file cannot be opened.  Shared by the
+// bench CLIs behind their --out flags.
+void write_output(const std::string& path, const std::string& content);
+
 class ReportTable {
  public:
   ReportTable& add_column(std::string header, int width = 10,
@@ -48,11 +53,17 @@ class ReportTable {
   std::string to_text() const;
   // RFC-ish CSV: header row + one line per row, no padding.
   std::string to_csv() const;
+  // JSON array of row objects keyed by column header; numeric cells
+  // (cell(double)/cell(int64)/cell_pct) emit unquoted full-precision
+  // numbers, text cells emit escaped strings.  Multi-experiment
+  // pipelines consume this instead of scraping the text table.
+  std::string to_json() const;
 
  private:
   struct Cell {
     std::string text;  // what the text renderer prints
     std::string csv;   // what the CSV renderer prints
+    bool numeric = false;
   };
 
   std::vector<ColumnSpec> columns_;

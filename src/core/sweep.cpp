@@ -1,9 +1,6 @@
 #include "core/sweep.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "noc/rng.hpp"
@@ -12,7 +9,8 @@ namespace lain::core {
 
 std::size_t SweepAxes::size() const {
   return schemes.size() * patterns.size() * injection_rates.size() *
-         temps_c.size() * seeds.size();
+         temps_c.size() * hotspot_fractions.size() * burst_duties.size() *
+         seeds.size();
 }
 
 std::vector<SweepPoint> SweepAxes::expand() const {
@@ -22,15 +20,21 @@ std::vector<SweepPoint> SweepAxes::expand() const {
     for (xbar::Scheme scheme : schemes) {
       for (double rate : injection_rates) {
         for (double temp : temps_c) {
-          for (std::uint64_t seed : seeds) {
-            SweepPoint p;
-            p.index = points.size();
-            p.scheme = scheme;
-            p.pattern = pattern;
-            p.injection_rate = rate;
-            p.temp_c = temp;
-            p.seed = seed;
-            points.push_back(p);
+          for (double hotspot : hotspot_fractions) {
+            for (double duty : burst_duties) {
+              for (std::uint64_t seed : seeds) {
+                SweepPoint p;
+                p.index = points.size();
+                p.scheme = scheme;
+                p.pattern = pattern;
+                p.injection_rate = rate;
+                p.temp_c = temp;
+                p.hotspot_fraction = hotspot;
+                p.burst_duty = duty;
+                p.seed = seed;
+                points.push_back(p);
+              }
+            }
           }
         }
       }
@@ -57,39 +61,27 @@ void SweepEngine::run(std::size_t n,
                       const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
 
-  const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mu;
-  std::size_t first_error_index = n;
-  std::exception_ptr first_error;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+  // One worker: run inline on the caller so single-threaded engines
+  // stay thread-free (and reentrant from pool tasks).
+  if (threads_ == 1 || n == 1) {
+    std::size_t first_error_index = n;
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
         if (i < first_error_index) {
           first_error_index = i;
           first_error = std::current_exception();
         }
       }
     }
-  };
-
-  if (workers == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return;
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+  pool_->parallel(n, fn);
 }
 
 }  // namespace lain::core

@@ -17,8 +17,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "noc/config.hpp"
 #include "xbar/scheme.hpp"
 
@@ -32,17 +34,22 @@ struct SweepPoint {
   noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
   double injection_rate = 0.0;
   double temp_c = 110.0;
+  double hotspot_fraction = 0.2;  // traffic share at the hotspot node
+  double burst_duty = 1.0;        // 1.0 = unmodulated Bernoulli
   std::uint64_t seed = 1;  // the simulation seed for this point
 };
 
 // The experiment axes.  expand() produces the cartesian product in a
 // fixed lexicographic order (pattern, scheme, rate, temperature,
-// seed) — the order the reports group rows in.
+// hotspot fraction, burst duty, seed) — the order the reports group
+// rows in.
 struct SweepAxes {
   std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC};
   std::vector<noc::TrafficPattern> patterns{noc::TrafficPattern::kUniform};
   std::vector<double> injection_rates{0.1};
   std::vector<double> temps_c{110.0};
+  std::vector<double> hotspot_fractions{0.2};
+  std::vector<double> burst_duties{1.0};
   std::vector<std::uint64_t> seeds{1};
 
   std::size_t size() const;
@@ -53,7 +60,10 @@ struct SweepAxes {
   SweepAxes& replicates(int n, std::uint64_t base = 1);
 };
 
-// Fixed-size std::thread pool executing an indexed job list.
+// Parallel executor for an indexed job list, backed by a persistent
+// ThreadPool: the workers are spawned once per engine and reused by
+// every run()/map() call, instead of the spawn/join-per-call the
+// engine used to do.
 class SweepEngine {
  public:
   // threads <= 0 means hardware_concurrency (at least 1).
@@ -89,6 +99,10 @@ class SweepEngine {
 
  private:
   int threads_;
+  // Lazy so single-threaded engines (the default in tests and thin
+  // wrappers) never spawn a worker; mutable because run() is
+  // logically const.
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace lain::core

@@ -1,0 +1,96 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace lain::core {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Section {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t tasks_left = 0;
+    std::size_t first_error_index = 0;
+    std::exception_ptr first_error;
+  };
+  Section sec;
+  sec.first_error_index = n;
+
+  const std::size_t tasks =
+      std::min(n, static_cast<std::size_t>(std::max(size(), 1)));
+  sec.tasks_left = tasks;
+
+  auto claim_loop = [&sec, n, &fn] {
+    for (;;) {
+      const std::size_t i = sec.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sec.mu);
+        if (i < sec.first_error_index) {
+          sec.first_error_index = i;
+          sec.first_error = std::current_exception();
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(sec.mu);
+    if (--sec.tasks_left == 0) sec.done.notify_one();
+  };
+
+  // The section lives on this stack frame; safe because we block
+  // until every task signalled completion.
+  for (std::size_t t = 0; t < tasks; ++t) post(claim_loop);
+  std::unique_lock<std::mutex> lock(sec.mu);
+  sec.done.wait(lock, [&sec] { return sec.tasks_left == 0; });
+
+  if (sec.first_error) std::rethrow_exception(sec.first_error);
+}
+
+}  // namespace lain::core

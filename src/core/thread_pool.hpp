@@ -1,0 +1,94 @@
+// thread_pool.hpp — persistent worker-pool and barrier primitives.
+//
+// ThreadPool keeps its workers alive across calls, so repeated
+// parallel sections (sweep batches, sharded-simulation runs) pay the
+// thread spawn/join cost once per pool instead of once per call.
+// SpinBarrier is the cheap cyclic barrier the sharded NoC kernel
+// steps its shards with: at a few barrier crossings per simulated
+// cycle, a mutex/condvar barrier would dominate the cycle cost.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lain::core {
+
+class ThreadPool {
+ public:
+  // threads <= 0 means hardware_concurrency (at least 1).  Workers
+  // start immediately and live until destruction.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task for any worker.  Tasks posted before destruction
+  // begin only if a worker picks them up first; the destructor drops
+  // tasks still queued.
+  void post(std::function<void()> task);
+
+  // Runs fn(i) for every i in [0, n) across the pool and blocks until
+  // all jobs finished.  Jobs are claimed from an atomic counter, so
+  // completion order is scheduling-dependent but each index runs
+  // exactly once.  If jobs threw, the exception of the lowest-indexed
+  // failing job is rethrown here.  Must not be called from inside a
+  // pool task (the caller would occupy the worker it waits for).
+  void parallel(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Cyclic sense-reversing barrier.  All `participants` threads spin
+// (with periodic yields) until the last one arrives; the release
+// chain through the atomics makes every write before an arrive
+// visible to every thread after the crossing, which is exactly the
+// synchronization the two-phase sharded simulation step relies on.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants) : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      int spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins >= 1024) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  const int participants_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace lain::core

@@ -3,6 +3,14 @@
 // A channel models link traversal with a fixed latency: items written
 // at cycle t become visible to the receiver at t + latency.  Channels
 // are advanced once per simulator cycle by the kernel.
+//
+// Internally the channel is split for the two-phase parallel kernel:
+// send() only writes the producer-side staging slot, receive() only
+// reads the consumer-side pipe, and tick() — the exchange phase —
+// moves the staged item into the pipe.  With component ticks (sends
+// and receives) and channel ticks separated by a barrier, a channel
+// crossing a shard boundary needs no locks: its producer and consumer
+// never touch the same member in the same phase.
 
 #pragma once
 
@@ -25,11 +33,10 @@ class Channel {
 
   // Producer side (at most one item per cycle).
   void send(const T& item) {
-    if (sent_this_cycle_) {
+    if (staged_.has_value()) {
       throw std::logic_error("channel accepts one item per cycle");
     }
-    pipe_.push_back(Slot{item, latency_});
-    sent_this_cycle_ = true;
+    staged_ = item;
   }
 
   // Consumer side: item that has completed traversal, if any.
@@ -42,16 +49,21 @@ class Channel {
     return std::nullopt;
   }
 
-  // Kernel: advance one cycle.
+  // Exchange phase: advance one cycle and admit the staged item.
   void tick() {
     for (auto& s : pipe_) {
       if (s.remaining > 0) --s.remaining;
     }
-    sent_this_cycle_ = false;
+    if (staged_.has_value()) {
+      pipe_.push_back(Slot{*staged_, latency_ - 1});
+      staged_.reset();
+    }
   }
 
-  bool in_flight() const { return !pipe_.empty(); }
-  int in_flight_count() const { return static_cast<int>(pipe_.size()); }
+  bool in_flight() const { return !pipe_.empty() || staged_.has_value(); }
+  int in_flight_count() const {
+    return static_cast<int>(pipe_.size()) + (staged_.has_value() ? 1 : 0);
+  }
   int latency() const { return latency_; }
 
  private:
@@ -61,7 +73,7 @@ class Channel {
   };
   int latency_;
   std::deque<Slot> pipe_;
-  bool sent_this_cycle_ = false;
+  std::optional<T> staged_;
 };
 
 using FlitChannel = Channel<Flit>;

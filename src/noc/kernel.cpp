@@ -1,0 +1,69 @@
+#include "noc/kernel.hpp"
+
+namespace lain::noc {
+
+SimKernel::SimKernel(const SimConfig& cfg) : cfg_(cfg) {
+  cfg.validate();
+  measure_start_ = cfg.warmup_cycles;
+  measure_end_ = cfg.warmup_cycles + cfg.measure_cycles;
+  packet_seq_.assign(static_cast<size_t>(cfg.num_nodes()), 0);
+}
+
+void SimKernel::step_shard_components(Network& net, TrafficGenerator& gen,
+                                      Shard& sh) {
+  if (injecting_) {
+    const bool in_window = now_ >= measure_start_ && now_ < measure_end_;
+    for (NodeId n = sh.node_begin; n < sh.node_end; ++n) {
+      const NodeId dst = gen.maybe_generate(n);
+      if (dst == kInvalidNode) continue;
+      const PacketId id = (static_cast<PacketId>(n) << 32) |
+                          packet_seq_[static_cast<size_t>(n)]++;
+      net.nic(n).source_packet(dst, now_, id);
+      if (in_window) {
+        ++sh.stats.packets_injected;
+        sh.stats.flits_injected += cfg_.packet_length_flits;
+        ++sh.tracked_pending;
+      }
+    }
+  }
+  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) net.nic(n).tick(now_);
+  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) net.router(n).tick();
+  // Collect completions at this shard's NICs.  The packet may have
+  // been injected by another shard; the counters still sum correctly
+  // because every event lands in exactly one shard.
+  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) {
+    for (const Nic::Ejection& e : net.nic(n).completions()) {
+      const bool tracked =
+          e.created >= measure_start_ && e.created < measure_end_;
+      if (!tracked) continue;
+      ++sh.stats.packets_ejected;
+      sh.stats.flits_ejected += cfg_.packet_length_flits;
+      --sh.tracked_pending;
+      sh.stats.packet_latency.add(static_cast<double>(e.ejected - e.created));
+      sh.stats.network_latency.add(static_cast<double>(e.ejected - e.injected));
+      sh.stats.hops.add(static_cast<double>(e.hops));
+      sh.stats.latency_hist.add(e.ejected - e.created);
+    }
+  }
+}
+
+void SimKernel::step_shard_channels(Network& net, const Shard& sh) {
+  for (int li : sh.links) net.tick_link(li);
+}
+
+SimStats SimKernel::run() {
+  const Cycle inject_until = measure_end_;
+  const Cycle hard_limit = measure_end_ + cfg_.drain_limit_cycles;
+  while (true) {
+    injecting_ = now_ < inject_until;
+    step();
+    if (now_ >= measure_end_ && tracked_pending() == 0) break;
+    if (now_ >= hard_limit) {
+      saturated_ = true;
+      break;
+    }
+  }
+  return collect_stats();
+}
+
+}  // namespace lain::noc

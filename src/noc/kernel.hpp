@@ -1,0 +1,98 @@
+// kernel.hpp — the shared simulation phase driver.
+//
+// SimKernel owns the logic every NoC engine needs but none should
+// duplicate: the warmup / measurement / drain phase machine, the
+// measurement window bookkeeping, per-node packet numbering and the
+// per-cycle observer hook.  Engines implement step() — the serial
+// Simulation steps the whole fabric inline, ShardedSimulation steps
+// per-thread tile shards under a two-phase barrier — and both express
+// a cycle through the same two helpers:
+//
+//   step_shard_components()  traffic + NIC/router ticks + completion
+//                            collection for one shard's node range,
+//   step_shard_channels()    the exchange phase: advance the shard's
+//                            channels, making this cycle's sends
+//                            visible next cycle.
+//
+// Because component ticks only read channel items sent in earlier
+// cycles (latency >= 1) and only write staging slots, every shard's
+// component phase commutes with every other's; the barrier between
+// the two phases is the only ordering the fabric needs.  Together
+// with per-node RNG streams and exactly-mergeable SimStats, that is
+// what makes the sharded engine bit-identical to the serial one.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+
+namespace lain::noc {
+
+// One engine thread's slice of the fabric: a contiguous node range,
+// the links it advances in the exchange phase, and its private
+// measurement state (merged exactly at the end of the run).
+struct Shard {
+  NodeId node_begin = 0;
+  NodeId node_end = 0;    // exclusive
+  std::vector<int> links;
+  SimStats stats;
+  // Packets created in the window minus packets ejected here.  May go
+  // negative for one shard (ejection side); the sum over shards is
+  // the fabric-wide in-flight tracked count.
+  std::int64_t tracked_pending = 0;
+};
+
+class SimKernel {
+ public:
+  virtual ~SimKernel() = default;
+
+  // Runs warmup + measurement + drain; returns the measured stats.
+  // Packets created during the measurement window are tracked; drain
+  // runs until they are all ejected (or the drain limit trips, which
+  // marks the run saturated).
+  SimStats run();
+
+  // Single-cycle stepping for tests and integrations.
+  virtual void step() = 0;
+  Cycle now() const { return now_; }
+
+  bool saturated() const { return saturated_; }
+
+  // Optional per-cycle observer (used by power integration).  Runs on
+  // the driving thread after every component has ticked and before
+  // the channels advance, in every engine.
+  using Observer = std::function<void(Cycle, Network&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+ protected:
+  explicit SimKernel(const SimConfig& cfg);
+
+  // Component phase for one shard: generate traffic, tick NICs and
+  // routers, collect completions.  Touches only the shard's nodes and
+  // node-local generator state; safe to run concurrently with other
+  // shards' component phases.
+  void step_shard_components(Network& net, TrafficGenerator& gen, Shard& sh);
+  // Exchange phase for one shard: advance its owned channels.
+  static void step_shard_channels(Network& net, const Shard& sh);
+
+  // Engine-provided: fabric-wide tracked packet count and the merged
+  // measured stats (called once, after the run loop ends).
+  virtual std::int64_t tracked_pending() const = 0;
+  virtual SimStats collect_stats() = 0;
+
+  SimConfig cfg_;
+  Cycle now_ = 0;
+  bool injecting_ = true;
+  bool saturated_ = false;
+  Cycle measure_start_ = 0;
+  Cycle measure_end_ = 0;
+  Observer observer_;
+  // Per-node packet sequence numbers; packet n<<32|seq is unique and
+  // independent of the shard layout.
+  std::vector<PacketId> packet_seq_;
+};
+
+}  // namespace lain::noc

@@ -1,0 +1,146 @@
+#include "noc/parallel/sharded_sim.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace lain::noc {
+
+int ShardedSimulation::auto_shards(const SimConfig& cfg, int requested) {
+  const int nodes = cfg.num_nodes();
+  if (requested > 0) return std::min(requested, nodes);
+  if (nodes < 64) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = hw ? static_cast<int>(hw) : 1;
+  return std::max(1, std::min(threads, cfg.radix_y));
+}
+
+ShardedSimulation::ShardedSimulation(const SimConfig& cfg, int num_shards)
+    : SimKernel(cfg), net_(cfg), gen_(cfg) {
+  const int shards = auto_shards(cfg, num_shards);
+  const int nodes = cfg.num_nodes();
+  shards_.resize(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    Shard& sh = shards_[static_cast<size_t>(s)];
+    sh.node_begin = static_cast<NodeId>(
+        (static_cast<std::int64_t>(nodes) * s) / shards);
+    sh.node_end = static_cast<NodeId>(
+        (static_cast<std::int64_t>(nodes) * (s + 1)) / shards);
+  }
+  // Each link is exchanged by the shard owning its consuming node.
+  for (int li = 0; li < net_.num_links(); ++li) {
+    const NodeId owner = net_.link_owner(li);
+    for (Shard& sh : shards_) {
+      if (owner >= sh.node_begin && owner < sh.node_end) {
+        sh.links.push_back(li);
+        break;
+      }
+    }
+  }
+  errors_.assign(shards_.size(), nullptr);
+}
+
+ShardedSimulation::~ShardedSimulation() { stop_workers(); }
+
+void ShardedSimulation::start_workers() {
+  if (workers_running_ || shards_.size() <= 1) return;
+  const int participants = num_shards();  // driver + S-1 workers
+  start_barrier_ = std::make_unique<core::SpinBarrier>(participants);
+  exchange_barrier_ = std::make_unique<core::SpinBarrier>(participants);
+  observe_barrier_ = std::make_unique<core::SpinBarrier>(participants);
+  done_barrier_ = std::make_unique<core::SpinBarrier>(participants);
+  pool_ = std::make_unique<core::ThreadPool>(num_shards() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    pool_->post([this, s] { worker_loop(s); });
+  }
+  workers_running_ = true;
+}
+
+void ShardedSimulation::stop_workers() {
+  if (!workers_running_) return;
+  stop_requested_ = true;
+  start_barrier_->arrive_and_wait();
+  pool_.reset();  // joins the (now idle) workers
+  workers_running_ = false;
+  stop_requested_ = false;
+}
+
+void ShardedSimulation::run_phase(std::size_t shard_index, bool components) {
+  if (errors_[shard_index]) return;  // poisoned shard: keep in lockstep only
+  try {
+    Shard& sh = shards_[shard_index];
+    if (components) {
+      step_shard_components(net_, gen_, sh);
+    } else {
+      step_shard_channels(net_, sh);
+    }
+  } catch (...) {
+    errors_[shard_index] = std::current_exception();
+  }
+}
+
+void ShardedSimulation::worker_loop(std::size_t shard_index) {
+  for (;;) {
+    start_barrier_->arrive_and_wait();
+    if (stop_requested_) return;
+    run_phase(shard_index, /*components=*/true);
+    exchange_barrier_->arrive_and_wait();
+    // The driver runs the observer between these barriers.
+    if (observe_this_cycle_) observe_barrier_->arrive_and_wait();
+    run_phase(shard_index, /*components=*/false);
+    done_barrier_->arrive_and_wait();
+  }
+}
+
+void ShardedSimulation::rethrow_any_error() {
+  for (const std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ShardedSimulation::step() {
+  if (shards_.size() == 1) {
+    step_shard_components(net_, gen_, shards_[0]);
+    if (observer_) observer_(now_, net_);
+    step_shard_channels(net_, shards_[0]);
+    ++now_;
+    return;
+  }
+
+  start_workers();
+  observe_this_cycle_ = static_cast<bool>(observer_);
+  std::exception_ptr observer_error;
+
+  start_barrier_->arrive_and_wait();
+  run_phase(0, /*components=*/true);
+  exchange_barrier_->arrive_and_wait();
+  if (observe_this_cycle_) {
+    try {
+      observer_(now_, net_);
+    } catch (...) {
+      observer_error = std::current_exception();
+    }
+    observe_barrier_->arrive_and_wait();
+  }
+  run_phase(0, /*components=*/false);
+  done_barrier_->arrive_and_wait();
+
+  ++now_;
+  if (observer_error) std::rethrow_exception(observer_error);
+  rethrow_any_error();
+}
+
+std::int64_t ShardedSimulation::tracked_pending() const {
+  std::int64_t pending = 0;
+  for (const Shard& sh : shards_) pending += sh.tracked_pending;
+  return pending;
+}
+
+SimStats ShardedSimulation::collect_stats() {
+  SimStats st;
+  for (const Shard& sh : shards_) st.merge(sh.stats);
+  st.num_nodes = cfg_.num_nodes();
+  st.measured_cycles = cfg_.measure_cycles;
+  return st;
+}
+
+}  // namespace lain::noc

@@ -1,0 +1,88 @@
+// sharded_sim.hpp — the parallel simulation engine.
+//
+// ShardedSimulation partitions the mesh/torus into per-thread tile
+// shards (contiguous node ranges, i.e. row bands of the row-major
+// fabric) and steps every shard through the same cycle under a
+// two-phase barrier:
+//
+//   phase 1 (components)  each shard generates traffic for its nodes
+//                         and ticks its NICs and routers.  Channel
+//                         sends only write producer-side staging
+//                         slots, so shards never race — even on links
+//                         that cross a shard boundary.
+//   barrier
+//   phase 2 (exchange)    each shard advances the links whose
+//                         consumer it owns, publishing this cycle's
+//                         boundary flits for the next cycle.
+//   barrier
+//
+// The calling thread drives shard 0 and the phase machine; shards
+// 1..S-1 run on a persistent ThreadPool that is reused across every
+// step()/run() of the simulation (workers park on a spin barrier
+// between cycles, so a multi-million-cycle run pays the thread spawn
+// cost once).  Traffic uses the per-node RNG streams and SimStats
+// merges exactly, so the result is bit-identical to the serial
+// Simulation — and to itself at any shard count.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "noc/kernel.hpp"
+
+namespace lain::noc {
+
+class ShardedSimulation final : public SimKernel {
+ public:
+  // num_shards <= 0 picks auto_shards(cfg, 0).  The shard count is
+  // clamped to the node count; one shard degenerates to the serial
+  // inline step (no workers, no barriers).
+  ShardedSimulation(const SimConfig& cfg, int num_shards);
+  ~ShardedSimulation() override;
+
+  void step() override;
+
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Shard-count policy.  requested > 0 is honoured (clamped to the
+  // node count).  requested <= 0 is automatic: 1 for fabrics under 64
+  // nodes (barrier overhead beats the win), otherwise the hardware
+  // concurrency clamped to the row count so every shard gets at least
+  // one full row band.
+  static int auto_shards(const SimConfig& cfg, int requested);
+
+ protected:
+  std::int64_t tracked_pending() const override;
+  SimStats collect_stats() override;
+
+ private:
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::size_t shard_index);
+  void run_phase(std::size_t shard_index, bool components);
+  void rethrow_any_error();
+
+  Network net_;
+  TrafficGenerator gen_;
+  std::vector<Shard> shards_;
+
+  // Worker machinery (only engaged with more than one shard).
+  std::unique_ptr<core::ThreadPool> pool_;
+  std::unique_ptr<core::SpinBarrier> start_barrier_;
+  std::unique_ptr<core::SpinBarrier> exchange_barrier_;
+  std::unique_ptr<core::SpinBarrier> observe_barrier_;
+  std::unique_ptr<core::SpinBarrier> done_barrier_;
+  bool workers_running_ = false;
+  // Control word for the coming cycle; written by the driver before
+  // the start barrier, read by workers after it.
+  bool stop_requested_ = false;
+  bool observe_this_cycle_ = false;
+  std::vector<std::exception_ptr> errors_;  // per shard
+};
+
+}  // namespace lain::noc

@@ -3,67 +3,25 @@
 namespace lain::noc {
 
 Simulation::Simulation(const SimConfig& cfg)
-    : cfg_(cfg), net_(cfg), gen_(cfg) {
-  cfg.validate();
-  measure_start_ = cfg.warmup_cycles;
-  measure_end_ = cfg.warmup_cycles + cfg.measure_cycles;
-  stats_.num_nodes = cfg.num_nodes();
-  stats_.measured_cycles = cfg.measure_cycles;
-}
-
-void Simulation::generate_traffic() {
-  if (!injecting_) return;
-  const bool in_window = now_ >= measure_start_ && now_ < measure_end_;
-  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) {
-    const NodeId dst = gen_.maybe_generate(n);
-    if (dst == kInvalidNode) continue;
-    net_.nic(n).source_packet(dst, now_, next_packet_++);
-    if (in_window) {
-      ++stats_.packets_injected;
-      stats_.flits_injected += cfg_.packet_length_flits;
-      ++tracked_pending_;
-    }
-  }
+    : SimKernel(cfg), net_(cfg), gen_(cfg) {
+  shard_.node_begin = 0;
+  shard_.node_end = cfg.num_nodes();
+  shard_.links.resize(static_cast<size_t>(net_.num_links()));
+  for (int i = 0; i < net_.num_links(); ++i) shard_.links[static_cast<size_t>(i)] = i;
 }
 
 void Simulation::step() {
-  generate_traffic();
-  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) net_.nic(n).tick(now_);
-  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) net_.router(n).tick();
-  // Collect completions.
-  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) {
-    for (const Nic::Ejection& e : net_.nic(n).completions()) {
-      const bool tracked =
-          e.created >= measure_start_ && e.created < measure_end_;
-      if (!tracked) continue;
-      ++stats_.packets_ejected;
-      stats_.flits_ejected += cfg_.packet_length_flits;
-      --tracked_pending_;
-      stats_.packet_latency.add(static_cast<double>(e.ejected - e.created));
-      stats_.network_latency.add(static_cast<double>(e.ejected - e.injected));
-      stats_.hops.add(static_cast<double>(e.hops));
-      stats_.latency_hist.add(e.ejected - e.created);
-    }
-  }
+  step_shard_components(net_, gen_, shard_);
   if (observer_) observer_(now_, net_);
-  net_.tick_channels();
+  step_shard_channels(net_, shard_);
   ++now_;
 }
 
-SimStats Simulation::run() {
-  const Cycle inject_until = measure_end_;
-  const Cycle hard_limit =
-      measure_end_ + cfg_.drain_limit_cycles;
-  while (true) {
-    injecting_ = now_ < inject_until;
-    step();
-    if (now_ >= measure_end_ && tracked_pending_ == 0) break;
-    if (now_ >= hard_limit) {
-      saturated_ = true;
-      break;
-    }
-  }
-  return stats_;
+SimStats Simulation::collect_stats() {
+  SimStats st = shard_.stats;
+  st.num_nodes = cfg_.num_nodes();
+  st.measured_cycles = cfg_.measure_cycles;
+  return st;
 }
 
 }  // namespace lain::noc

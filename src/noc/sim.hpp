@@ -1,54 +1,37 @@
-// sim.hpp — simulation kernel: warmup / measurement / drain phases.
+// sim.hpp — the serial simulation engine.
+//
+// One shard covering the whole fabric, stepped inline on the calling
+// thread.  The phase machine (warmup / measurement / drain) and the
+// per-cycle component/exchange logic live in SimKernel, shared with
+// the sharded parallel engine (noc/parallel/sharded_sim.hpp) — for
+// any SimConfig+seed the two produce bit-identical SimStats.
 
 #pragma once
 
-#include <functional>
-
-#include "noc/topology.hpp"
-#include "noc/traffic.hpp"
+#include "noc/kernel.hpp"
 
 namespace lain::noc {
 
-class Simulation {
+class Simulation final : public SimKernel {
  public:
   explicit Simulation(const SimConfig& cfg);
 
-  // Runs warmup + measurement + drain; returns the measured stats.
-  // Packets created during the measurement window are tracked; drain
-  // runs until they are all ejected (or the drain limit trips, which
-  // marks the run saturated).
-  SimStats run();
-
   // Single-cycle stepping for tests and integrations.
-  void step();
-  Cycle now() const { return now_; }
+  void step() override;
 
   Network& network() { return net_; }
   const Network& network() const { return net_; }
 
-  bool saturated() const { return saturated_; }
-
-  // Optional per-cycle observer (used by power integration).
-  using Observer = std::function<void(Cycle, Network&)>;
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
+ protected:
+  std::int64_t tracked_pending() const override {
+    return shard_.tracked_pending;
+  }
+  SimStats collect_stats() override;
 
  private:
-  void generate_traffic();
-
-  SimConfig cfg_;
   Network net_;
   TrafficGenerator gen_;
-  Cycle now_ = 0;
-  PacketId next_packet_ = 0;
-  bool injecting_ = true;
-  bool saturated_ = false;
-  Observer observer_;
-
-  // Measurement bookkeeping.
-  Cycle measure_start_ = 0;
-  Cycle measure_end_ = 0;
-  std::int64_t tracked_pending_ = 0;
-  SimStats stats_;
+  Shard shard_;  // the whole fabric
 };
 
 }  // namespace lain::noc

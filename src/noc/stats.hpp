@@ -12,6 +12,13 @@
 namespace lain::noc {
 
 // Streaming scalar statistics.
+//
+// The simulator only feeds integer-valued samples (cycle counts,
+// hops), so sum_ and sum2_ stay exact in a double far beyond any
+// realistic run length.  That makes merge() associative and
+// commutative bit-for-bit: a sharded simulation can accumulate
+// per-shard and merge in any order, and the result is identical to
+// one serial accumulator seeing the same samples.
 class Accumulator {
  public:
   void add(double x) {
@@ -20,6 +27,15 @@ class Accumulator {
     ++n_;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+  }
+
+  // Folds another accumulator's samples into this one.
+  void merge(const Accumulator& o) {
+    sum_ += o.sum_;
+    sum2_ += o.sum2_;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
   }
   std::int64_t count() const { return n_; }
   double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
@@ -41,6 +57,10 @@ class Accumulator {
 class Histogram {
  public:
   void add(std::int64_t value) { ++bins_[value]; ++n_; }
+  void merge(const Histogram& o) {
+    for (const auto& [v, c] : o.bins_) bins_[v] += c;
+    n_ += o.n_;
+  }
   std::int64_t count() const { return n_; }
   const std::map<std::int64_t, std::int64_t>& bins() const { return bins_; }
   double mean() const;
@@ -71,6 +91,21 @@ struct SimStats {
     if (measured_cycles <= 0 || num_nodes <= 0) return 0.0;
     return static_cast<double>(flits_ejected) /
            (static_cast<double>(measured_cycles) * num_nodes);
+  }
+
+  // Folds another shard's measurement slice into this one.  Counters
+  // add, accumulators merge exactly (integer-valued samples), and the
+  // fabric-wide fields (measured_cycles, num_nodes) are left alone —
+  // the kernel sets them once for the whole run.
+  void merge(const SimStats& o) {
+    packets_injected += o.packets_injected;
+    packets_ejected += o.packets_ejected;
+    flits_injected += o.flits_injected;
+    flits_ejected += o.flits_ejected;
+    packet_latency.merge(o.packet_latency);
+    network_latency.merge(o.network_latency);
+    hops.merge(o.hops);
+    latency_hist.merge(o.latency_hist);
   }
 };
 

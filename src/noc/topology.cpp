@@ -14,8 +14,9 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg) {
   wire_mesh();
 }
 
-Network::Link* Network::make_link(int latency) {
+Network::Link* Network::make_link(int latency, NodeId owner) {
   links_.push_back(std::make_unique<Link>(latency));
+  link_owners_.push_back(owner);
   return links_.back().get();
 }
 
@@ -25,8 +26,8 @@ void Network::wire_mesh() {
 
   // Local port: NIC <-> router, latency 1.
   for (NodeId i = 0; i < cfg_.num_nodes(); ++i) {
-    Link* inj = make_link(1);  // NIC -> router (flits), router -> NIC credits
-    Link* ej = make_link(1);   // router -> NIC (flits), NIC -> router credits
+    Link* inj = make_link(1, i);  // NIC -> router (flits), router -> NIC credits
+    Link* ej = make_link(1, i);   // router -> NIC (flits), NIC -> router credits
     routers_[static_cast<size_t>(i)]->connect_input(Dir::kLocal, &inj->flits,
                                                     &inj->credits);
     routers_[static_cast<size_t>(i)]->connect_output(Dir::kLocal, &ej->flits,
@@ -37,7 +38,7 @@ void Network::wire_mesh() {
 
   // Inter-router links: one directed link per (router, direction).
   auto connect_pair = [&](NodeId from, Dir out_dir, NodeId to) {
-    Link* l = make_link(cfg_.link_latency);
+    Link* l = make_link(cfg_.link_latency, to);
     routers_[static_cast<size_t>(from)]->connect_output(out_dir, &l->flits,
                                                         &l->credits);
     routers_[static_cast<size_t>(to)]->connect_input(opposite(out_dir),
@@ -78,10 +79,7 @@ void Network::wire_mesh() {
 }
 
 void Network::tick_channels() {
-  for (auto& l : links_) {
-    l->flits.tick();
-    l->credits.tick();
-  }
+  for (int i = 0; i < num_links(); ++i) tick_link(i);
 }
 
 int Network::flits_in_flight() const {

@@ -27,6 +27,22 @@ class Network {
   // routers and NICs have ticked).
   void tick_channels();
 
+  // Per-link advance for sharded kernels: the exchange phase ticks
+  // each link exactly once, from the shard owning link_owner(i).
+  int num_links() const { return static_cast<int>(links_.size()); }
+  void tick_link(int i) {
+    Link& l = *links_[static_cast<size_t>(i)];
+    l.flits.tick();
+    l.credits.tick();
+  }
+  // The node whose router/NIC consumes this link's flits.  Assigning
+  // each link to its consumer's shard keeps boundary traffic local to
+  // one side; any unique assignment would be correct (the exchange
+  // phase is barrier-separated from the component phase).
+  NodeId link_owner(int i) const {
+    return link_owners_.at(static_cast<size_t>(i));
+  }
+
   // Flits resident anywhere in the fabric (buffers + channels).
   int flits_in_flight() const;
 
@@ -43,8 +59,9 @@ class Network {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<NodeId> link_owners_;  // consuming endpoint per link
 
-  Link* make_link(int latency);
+  Link* make_link(int latency, NodeId owner);
   void wire_mesh();
 };
 

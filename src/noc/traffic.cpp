@@ -54,18 +54,21 @@ NodeId pattern_destination(TrafficPattern pattern, NodeId src,
   throw std::invalid_argument("unknown traffic pattern");
 }
 
-TrafficGenerator::TrafficGenerator(const SimConfig& cfg)
-    : cfg_(cfg), rng_(cfg.seed) {
+TrafficGenerator::TrafficGenerator(const SimConfig& cfg) : cfg_(cfg) {
   cfg.validate();
   if (cfg.pattern == TrafficPattern::kTranspose &&
       cfg.radix_x != cfg.radix_y) {
     throw std::invalid_argument("transpose traffic needs a square fabric");
   }
+  rngs_.reserve(static_cast<size_t>(cfg.num_nodes()));
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    rngs_.emplace_back(mix_seed(cfg.seed, static_cast<std::uint64_t>(n)));
+  }
   modulated_ = cfg.burst_duty < 1.0;
   // ON-state rate scaled to preserve the long-run average.
   packet_rate_ =
       cfg.injection_rate / cfg.packet_length_flits / cfg.burst_duty;
-  on_.assign(static_cast<size_t>(cfg.num_nodes()), true);
+  on_.assign(static_cast<size_t>(cfg.num_nodes()), 1);
   // Geometric dwell times: mean ON dwell = burst_on_mean_cycles, and
   // the OFF dwell follows from the duty cycle.
   p_off_ = 1.0 / cfg.burst_on_mean_cycles;
@@ -75,20 +78,21 @@ TrafficGenerator::TrafficGenerator(const SimConfig& cfg)
 }
 
 bool TrafficGenerator::is_on(NodeId src) const {
-  return on_.at(static_cast<size_t>(src));
+  return on_.at(static_cast<size_t>(src)) != 0;
 }
 
 NodeId TrafficGenerator::maybe_generate(NodeId src) {
+  Rng& rng = rngs_.at(static_cast<size_t>(src));
   if (modulated_) {
-    auto state = on_.at(static_cast<size_t>(src));
-    if (state ? rng_.bernoulli(p_off_) : rng_.bernoulli(p_on_)) {
+    bool state = on_[static_cast<size_t>(src)] != 0;
+    if (state ? rng.bernoulli(p_off_) : rng.bernoulli(p_on_)) {
       state = !state;
-      on_[static_cast<size_t>(src)] = state;
+      on_[static_cast<size_t>(src)] = state ? 1 : 0;
     }
     if (!state) return kInvalidNode;
   }
-  if (!rng_.bernoulli(packet_rate_)) return kInvalidNode;
-  NodeId dst = pattern_destination(cfg_.pattern, src, cfg_, rng_);
+  if (!rng.bernoulli(packet_rate_)) return kInvalidNode;
+  NodeId dst = pattern_destination(cfg_.pattern, src, cfg_, rng);
   if (dst == src) return kInvalidNode;  // no self traffic
   return dst;
 }

@@ -2,8 +2,17 @@
 //
 // Bernoulli packet injection per node per cycle; destination chosen by
 // the configured spatial pattern (the standard BookSim set).
+//
+// Every node draws from its own RNG stream (mix_seed(cfg.seed, node))
+// and keeps its own burst state, so maybe_generate(n) touches only
+// node-local state.  Two consequences the kernels rely on: the stream
+// a node sees is independent of the order nodes are polled in, and a
+// sharded simulation can share one generator across threads without
+// locks as long as each node is polled by exactly one shard.
 
 #pragma once
+
+#include <vector>
 
 #include "noc/config.hpp"
 #include "noc/rng.hpp"
@@ -31,14 +40,15 @@ class TrafficGenerator {
   // modulation).  Exposed for tests.
   bool is_on(NodeId src) const;
 
-  Rng& rng() { return rng_; }
-
  private:
   SimConfig cfg_;
-  Rng rng_;
+  std::vector<Rng> rngs_;  // per-node streams
   double packet_rate_;  // packets / node / cycle in the ON state
   bool modulated_;
-  std::vector<bool> on_;  // per-node burst state
+  // Per-node burst state.  uint8_t, not vector<bool>: adjacent nodes
+  // may be toggled by different shards concurrently, so each node
+  // needs its own addressable byte.
+  std::vector<std::uint8_t> on_;
   double p_off_;          // P[ON -> OFF] per cycle
   double p_on_;           // P[OFF -> ON] per cycle
 };

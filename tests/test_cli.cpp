@@ -104,5 +104,17 @@ TEST(ParsePatterns, MatchesTrafficNames) {
   EXPECT_THROW(core::parse_patterns("nope"), std::invalid_argument);
 }
 
+TEST(ParseIntList, ParsesCommaListAndRejectsJunk) {
+  const auto v = core::parse_int_list("8,16,32");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 8);
+  EXPECT_EQ(v[1], 16);
+  EXPECT_EQ(v[2], 32);
+  EXPECT_EQ(core::parse_int_list("4").size(), 1u);
+  EXPECT_THROW(core::parse_int_list(""), std::invalid_argument);
+  EXPECT_THROW(core::parse_int_list("8,x"), std::invalid_argument);
+  EXPECT_THROW(core::parse_int_list("8.5"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace lain

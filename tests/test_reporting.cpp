@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/reporting.hpp"
@@ -56,6 +57,42 @@ TEST(ReportTable, MisuseThrows) {
   t.begin_row().cell("1");
   EXPECT_THROW(t.cell("overflow"), std::logic_error);
   EXPECT_THROW(t.add_column("late"), std::logic_error);
+}
+
+TEST(ReportTable, JsonEmitsTypedRowObjects) {
+  core::ReportTable t;
+  t.add_column("scheme").add_column("mW").add_column("stby").add_column("n");
+  t.begin_row().cell("SC").cell(12.3456789, 2).cell_pct(0.25, 1).cell(
+      std::int64_t{7});
+  t.begin_row().cell("SD\"PC").cell(7.0, 2).cell_pct(0.959, 1).cell(
+      std::int64_t{-3});
+  EXPECT_EQ(t.to_json(),
+            "[\n"
+            " {\"scheme\": \"SC\", \"mW\": 12.3456789, \"stby\": 0.25, "
+            "\"n\": 7},\n"
+            " {\"scheme\": \"SD\\\"PC\", \"mW\": 7, \"stby\": 0.959, "
+            "\"n\": -3}\n"
+            "]\n");
+}
+
+TEST(ReportTable, JsonEmptyTableIsEmptyArray) {
+  core::ReportTable t;
+  t.add_column("a");
+  EXPECT_EQ(t.to_json(), "[\n]\n");
+}
+
+TEST(WriteOutput, WritesFileAndReportsFailure) {
+  const std::string path = ::testing::TempDir() + "lain_write_output.txt";
+  core::write_output(path, "hello\n");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_STREQ(buf, "hello\n");
+  EXPECT_THROW(core::write_output("/nonexistent-dir/x/y.txt", "z"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -51,6 +51,68 @@ TEST(Histogram, EmptySafe) {
   EXPECT_DOUBLE_EQ(h.fraction_at_least(1), 0.0);
 }
 
+TEST(Accumulator, MergeIsExactForIntegerSamples) {
+  // Shard merging relies on integer-valued samples making the sums
+  // exact, so a split-and-merge reproduces serial accumulation
+  // bit-for-bit — in any merge order.
+  Accumulator serial, left, right, empty;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>((i * 37) % 4001);
+    serial.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  Accumulator merged = left;
+  merged.merge(right);
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.mean(), serial.mean());
+  EXPECT_EQ(merged.variance(), serial.variance());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+
+  Accumulator reversed = empty;
+  reversed.merge(right);
+  reversed.merge(left);
+  EXPECT_EQ(reversed.mean(), serial.mean());
+}
+
+TEST(Histogram, MergeAddsBinsAndCounts) {
+  Histogram a, b;
+  a.add(1);
+  a.add(1);
+  a.add(5);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5);
+  EXPECT_EQ(a.bins().at(1), 3);
+  EXPECT_EQ(a.bins().at(5), 1);
+  EXPECT_EQ(a.bins().at(9), 1);
+}
+
+TEST(SimStats, MergeFoldsCountersAndLeavesRunFields) {
+  SimStats a, b;
+  a.packets_injected = 10;
+  a.flits_injected = 40;
+  a.packet_latency.add(12.0);
+  b.packets_injected = 5;
+  b.packets_ejected = 3;
+  b.flits_ejected = 12;
+  b.packet_latency.add(20.0);
+  a.num_nodes = 64;
+  a.measured_cycles = 1000;
+  a.merge(b);
+  EXPECT_EQ(a.packets_injected, 15);
+  EXPECT_EQ(a.packets_ejected, 3);
+  EXPECT_EQ(a.flits_injected, 40);
+  EXPECT_EQ(a.flits_ejected, 12);
+  EXPECT_EQ(a.packet_latency.count(), 2);
+  EXPECT_DOUBLE_EQ(a.packet_latency.mean(), 16.0);
+  // Fabric-wide fields are the kernel's to set, not merge's.
+  EXPECT_EQ(a.num_nodes, 64);
+  EXPECT_EQ(a.measured_cycles, 1000);
+}
+
 TEST(SimStats, Throughput) {
   SimStats st;
   st.flits_ejected = 1000;

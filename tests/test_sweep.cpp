@@ -40,6 +40,26 @@ TEST(SweepAxes, ExpandsCartesianProductInFixedOrder) {
     EXPECT_EQ(points[i].index, i);
 }
 
+TEST(SweepAxes, TrafficDiversityAxesExpandBetweenTempAndSeed) {
+  core::SweepAxes axes;
+  axes.injection_rates = {0.1};
+  axes.hotspot_fractions = {0.2, 0.5};
+  axes.burst_duties = {0.25, 1.0};
+  axes.seeds = {1, 2};
+  EXPECT_EQ(axes.size(), 2u * 2u * 2u);
+  const std::vector<core::SweepPoint> points = axes.expand();
+  ASSERT_EQ(points.size(), 8u);
+  // seed is innermost, then duty, then hotspot.
+  EXPECT_EQ(points[0].hotspot_fraction, 0.2);
+  EXPECT_EQ(points[0].burst_duty, 0.25);
+  EXPECT_EQ(points[0].seed, 1u);
+  EXPECT_EQ(points[1].seed, 2u);
+  EXPECT_EQ(points[2].burst_duty, 1.0);
+  EXPECT_EQ(points[4].hotspot_fraction, 0.5);
+  EXPECT_EQ(points.back().burst_duty, 1.0);
+  EXPECT_EQ(points.back().seed, 2u);
+}
+
 TEST(SweepAxes, ReplicatesDeriveDistinctDeterministicSeeds) {
   core::SweepAxes a, b;
   a.replicates(4, 99);
