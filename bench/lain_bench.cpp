@@ -1,24 +1,23 @@
-// lain_bench — unified experiment CLI over the parallel sweep engine.
+// lain_bench — unified experiment CLI over the scenario registry.
 //
-//   lain_bench <subcommand> [--threads N] [--sim-threads N]
-//              [--csv | --json] [--out FILE] [axis flags...]
+//   lain_bench <subcommand> [--threads N] [--csv | --json] [--out FILE]
+//              [axis flags...]
+//   lain_bench --list-scenarios
+//   lain_bench <subcommand> --help
 //
-// Subcommands (the E-numbers refer to EXPERIMENTS.md / the bench/
-// executables they replace):
-//   injection_sweep     E8  powered-NoC latency/power sweep
-//   idle_histogram      E9  crossbar idle-run distribution
-//   corner_sweep        E12 temperature / process-corner sensitivity
-//   node_scaling        E11 90/65/45 nm technology scaling
-//   mesh_vs_torus       mesh vs torus topology comparison
-//   mesh_scaling        sharded-kernel node-count scaling
-//   static_probability  E7  total power vs P[bit = 1]
-//   breakeven           E6  Minimum Idle Time breakeven analysis
-//   segmentation        E5  DFC->SDFC / DPC->SDPC ablation
-//   table1              E1  the paper's Table 1
+// The subcommands, their axis flags and their usage text all come
+// from core::ScenarioRegistry::builtin() — this file only parses the
+// command line, sizes a LainContext (shared characterization cache +
+// process-wide thread budget) and emits what the scenario produced.
+// Unknown subcommands and flags a scenario does not accept fail with
+// the registry-derived usage and a nonzero exit.
 //
 // --threads parallelizes across sweep jobs; --sim-threads shards one
 // simulation across a thread-pool kernel (stats are bit-identical at
-// any value).  Axis flags take comma lists or start:stop:step ranges:
+// any value).  Both draw worker lanes from one budget, so
+// `--threads 8 --sim-threads 4` tops out at max(8, 4, cores) live
+// lanes instead of 32.  Axis flags take comma lists or
+// start:stop:step ranges:
 //   lain_bench injection_sweep --threads 8 --rates 0.05:0.45:0.05
 //       --patterns uniform,transpose,tornado --schemes all --replicates 3
 //   lain_bench injection_sweep --patterns hotspot --hotspot-fracs
@@ -29,56 +28,12 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/bench_suite.hpp"
-#include "core/cli.hpp"
-#include "core/leakage_aware.hpp"
+#include "core/context.hpp"
+#include "core/scenario.hpp"
 
-using namespace lain;
 using namespace lain::core;
 
 namespace {
-
-int usage(FILE* out) {
-  std::fprintf(
-      out,
-      "usage: lain_bench <subcommand> [flags]\n"
-      "\n"
-      "subcommands:\n"
-      "  injection_sweep     powered-NoC latency/power sweep (E8)\n"
-      "  idle_histogram      crossbar idle-run distribution (E9)\n"
-      "  corner_sweep        temperature/corner sensitivity (E12)\n"
-      "  node_scaling        technology-node scaling (E11)\n"
-      "  mesh_vs_torus       mesh vs torus topology comparison\n"
-      "  mesh_scaling        sharded-kernel node-count scaling\n"
-      "  static_probability  total power vs static probability (E7)\n"
-      "  breakeven           Minimum Idle Time breakeven (E6)\n"
-      "  segmentation        segmentation ablation (E5)\n"
-      "  table1              the paper's Table 1 (E1)\n"
-      "\n"
-      "common flags:\n"
-      "  --threads N         sweep worker threads (0 = all cores; default 1)\n"
-      "  --sim-threads N     shards per simulation (1 = serial kernel,\n"
-      "                      0 = auto-shard by radix; stats bit-identical)\n"
-      "  --csv               emit CSV instead of the text table\n"
-      "  --json              emit a JSON row array\n"
-      "  --out FILE          write the table to FILE instead of stdout\n"
-      "  --schemes LIST      e.g. sc,dpc,sdpc or 'all'\n"
-      "  --patterns LIST     uniform,transpose,bitcomp,bitrev,hotspot,\n"
-      "                      tornado,neighbor\n"
-      "  --rates SPEC        comma list or start:stop:step, e.g. "
-      "0.05:0.45:0.05\n"
-      "  --hotspot-fracs SPEC  hotspot traffic shares (hotspot pattern)\n"
-      "  --burst-duties SPEC   on-off duty cycles (1.0 = steady)\n"
-      "  --burst-on-mean N   mean ON dwell in cycles (default 50)\n"
-      "  --radices LIST      square fabric radices (mesh_vs_torus,\n"
-      "                      mesh_scaling), e.g. 8,16\n"
-      "  --temps SPEC        temperatures in C (corner_sweep)\n"
-      "  --probabilities SPEC  static probabilities (static_probability)\n"
-      "  --seed S            base RNG seed (default 1)\n"
-      "  --replicates K      derive K independent seeds from --seed\n"
-      "  --no-gating         disable the Minimum-Idle-Time sleep policy\n");
-  return out == stderr ? 2 : 0;
-}
 
 enum class Format { kText, kCsv, kJson };
 
@@ -96,208 +51,83 @@ struct Output {
   bool text() const { return format == Format::kText; }
 };
 
-// Strict single-integer flag: rejects trailing junk ("2,4") that
-// std::stoi would silently truncate.  mesh_scaling is the only
-// subcommand that takes --sim-threads as a list.
-int get_single_int(const ArgParser& args, const std::string& flag,
-                   int fallback) {
-  const std::string v = args.get(flag, "");
-  if (v.empty()) return fallback;
-  const std::vector<int> parsed = parse_int_list(v);
-  if (parsed.size() != 1) {
-    throw std::invalid_argument("--" + flag +
-                                " takes a single integer here: " + v);
-  }
-  return parsed.front();
-}
-
-std::vector<std::uint64_t> seeds_from(const ArgParser& args) {
-  const std::uint64_t base = args.get_u64("seed", 1);
-  const int replicates = args.get_int("replicates", 1);
-  if (replicates <= 1) return {base};
-  SweepAxes axes;
-  axes.replicates(replicates, base);
-  return axes.seeds;
-}
-
 int run(int argc, char** argv) {
-  if (argc < 2) return usage(stderr);
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  if (argc < 2) {
+    std::fputs(registry.usage().c_str(), stderr);
+    return 2;
+  }
   const std::string cmd = argv[1];
-  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::fputs(registry.usage().c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "--list-scenarios") {
+    std::fputs(registry.list().c_str(), stdout);
+    return 0;
+  }
+  const Scenario* scenario = registry.find(cmd);
+  if (!scenario) {
+    std::fprintf(stderr, "lain_bench: unknown subcommand: %s\n\n%s",
+                 cmd.c_str(), registry.usage().c_str());
+    return 2;
+  }
 
-  const std::vector<std::string> value_flags = {
-      "threads",       "sim-threads",  "schemes", "patterns",
-      "rates",         "hotspot-fracs", "burst-duties", "burst-on-mean",
-      "radices",       "temps",        "probabilities", "seed",
-      "replicates",    "out"};
-  const std::vector<std::string> switch_flags = {"csv", "json", "no-gating"};
-  const ArgParser args(argc - 2, argv + 2, value_flags, switch_flags);
-  if (!args.positionals().empty()) {
-    throw std::invalid_argument("unexpected argument: " +
-                                args.positionals().front() +
-                                " (flags are spelled --flag)");
-  }
-  const SweepEngine engine(get_single_int(args, "threads", 1));
-  // mesh_scaling parses --sim-threads itself, as a list.
-  const int sim_threads =
-      cmd == "mesh_scaling" ? 1 : get_single_int(args, "sim-threads", 1);
-  if (args.has("csv") && args.has("json")) {
-    throw std::invalid_argument("--csv and --json are mutually exclusive");
-  }
+  ScenarioSpec spec;
   Output out;
-  if (args.has("csv")) out.format = Format::kCsv;
-  if (args.has("json")) out.format = Format::kJson;
-  out.path = args.get("out", "");
-
-  if (cmd == "injection_sweep") {
-    NocSweepOptions opt;
-    opt.schemes = parse_schemes(args.get("schemes", "all"));
-    opt.patterns = parse_patterns(args.get("patterns", "uniform,transpose"));
-    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
-    opt.hotspot_fracs = parse_range(args.get("hotspot-fracs", "0.2"));
-    opt.burst_duties = parse_range(args.get("burst-duties", "1.0"));
-    opt.burst_on_mean_cycles = args.get_double("burst-on-mean", 50.0);
-    opt.seeds = seeds_from(args);
-    opt.gating = !args.has("no-gating");
-    opt.sim_threads = sim_threads;
-    if (out.text())
-      std::printf("E8: 5x5 mesh, 2 VCs, 4-flit packets; crossbar power "
-                  "integrated per cycle (%d thread%s)\n\n",
-                  engine.threads(), engine.threads() == 1 ? "" : "s");
-    out.emit(injection_sweep(opt, engine));
-    return 0;
-  }
-  if (cmd == "idle_histogram") {
-    IdleHistogramOptions opt;
-    opt.patterns = parse_patterns(args.get("patterns", "uniform"));
-    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
-    opt.hotspot_fracs = parse_range(args.get("hotspot-fracs", "0.2"));
-    opt.burst_duties = parse_range(args.get("burst-duties", "1.0"));
-    opt.burst_on_mean_cycles = args.get_double("burst-on-mean", 50.0);
-    opt.seeds = seeds_from(args);
-    opt.sim_threads = sim_threads;
-    if (out.text())
-      std::printf("E9: crossbar idle-run distribution, 5x5 mesh "
-                  "(%d thread%s)\n\n",
-                  engine.threads(), engine.threads() == 1 ? "" : "s");
-    out.emit(idle_histogram(opt, engine));
-    return 0;
-  }
-  if (cmd == "mesh_vs_torus") {
-    MeshVsTorusOptions opt;
-    opt.radices = parse_int_list(args.get("radices", "4,8"));
-    opt.rates = parse_range(args.get("rates", "0.05,0.15,0.30"));
-    opt.patterns = parse_patterns(args.get("patterns", "uniform,tornado"));
-    const std::vector<xbar::Scheme> schemes =
-        parse_schemes(args.get("schemes", "sdpc"));
-    if (schemes.size() != 1) {
+  try {
+    const ArgParser args(argc - 2, argv + 2,
+                         registry.value_flags_for(*scenario),
+                         registry.switch_flags_for(*scenario));
+    if (args.has("help")) {
+      std::fputs(registry.usage_for(*scenario).c_str(), stdout);
+      return 0;
+    }
+    if (!args.positionals().empty()) {
+      throw std::invalid_argument("unexpected argument: " +
+                                  args.positionals().front() +
+                                  " (flags are spelled --flag)");
+    }
+    if (args.has("csv") && args.has("json")) {
+      throw std::invalid_argument("--csv and --json are mutually exclusive");
+    }
+    if (args.has("csv")) out.format = Format::kCsv;
+    if (args.has("json")) out.format = Format::kJson;
+    out.path = args.get("out", "");
+    if (scenario->text_only && !out.text()) {
       throw std::invalid_argument(
-          "mesh_vs_torus takes a single scheme (the comparison axis is "
-          "topology)");
+          scenario->name + " emits a preformatted text table; --csv/--json "
+          "are not supported here");
     }
-    opt.scheme = schemes.front();
-    opt.seed = args.get_u64("seed", 1);
-    opt.gating = !args.has("no-gating");
-    opt.sim_threads = sim_threads;
-    if (out.text())
-      std::printf("Mesh vs torus (%s crossbars; tornado is the classic "
-                  "torus-friendly adversary)\n\n",
-                  std::string(xbar::scheme_name(opt.scheme)).c_str());
-    out.emit(mesh_vs_torus(opt, engine));
-    return 0;
-  }
-  if (cmd == "mesh_scaling") {
-    MeshScalingOptions opt;
-    opt.radices = parse_int_list(args.get("radices", "8,16"));
-    opt.sim_threads = parse_int_list(args.get("sim-threads", "1,2,4"));
-    opt.injection_rate = parse_range(args.get("rates", "0.05")).front();
-    opt.pattern = parse_patterns(args.get("patterns", "uniform")).front();
-    opt.seed = args.get_u64("seed", 1);
-    if (out.text())
-      std::printf("Sharded-kernel scaling: one simulation timed per "
-                  "(radix, shard count); 'match' pins bit-identical "
-                  "stats vs the first row\n\n");
-    out.emit(mesh_scaling(opt));
-    return 0;
-  }
-  if (cmd == "corner_sweep") {
-    CornerSweepOptions opt;
-    opt.temps_c = parse_range(args.get("temps", "25,70,110"));
-    opt.schemes = parse_schemes(args.get("schemes", "sc,dfc,dpc,sdpc"));
-    if (out.text())
-      std::printf("E12: temperature sensitivity of the leakage rows "
-                  "(5x5 crossbar, 45 nm)\n\n");
-    out.emit(corner_sweep(opt, engine));
-    if (out.text() && out.path.empty()) {
-      std::printf("\nDevice-level corner check (1 um NMOS):\n");
-      out.emit(corner_device_report());
-    }
-    return 0;
-  }
-  if (cmd == "node_scaling") {
-    NodeScalingOptions opt;
-    opt.schemes = parse_schemes(args.get("schemes", "sc,dpc,sdpc"));
-    if (out.text())
-      std::printf("E11: crossbar power across technology nodes (5x5, "
-                  "128-bit, 3 GHz)\n\n");
-    out.emit(node_scaling(opt, engine));
-    if (out.text() && out.path.empty()) {
-      std::printf("\nActive-leakage saving vs SC, by node:\n");
-      out.emit(node_scaling_savings(opt, engine));
-    }
-    return 0;
-  }
-  if (cmd == "static_probability") {
-    StaticProbabilityOptions opt;
-    const std::string ps = args.get("probabilities", "");
-    if (!ps.empty()) opt.probabilities = parse_range(ps);
-    opt.schemes = parse_schemes(args.get("schemes", "all"));
-    if (out.text())
-      std::printf("E7: total power (mW) vs static probability "
-                  "p = P[bit = 1]\n\n");
-    out.emit(static_probability(opt, engine));
-    if (out.text() && out.path.empty()) {
-      std::printf("\nWorst-case check:\n");
-      out.emit(static_probability_worst_case(engine));
-    }
-    return 0;
-  }
-  if (cmd == "breakeven") {
-    if (out.text())
-      std::printf("E6: Minimum Idle Time breakeven (paper row: SC 3, DFC 2, "
-                  "DPC 1, SDFC 3, SDPC 1)\n\n");
-    out.emit(breakeven_table(engine));
-    if (out.text() && out.path.empty()) {
-      std::printf("\nNet energy of gating one idle run of N cycles (pJ):\n");
-      out.emit(breakeven_net_energy(engine));
-      std::printf("\nTimeout-policy check (threshold = min idle, 50-cycle "
-                  "idle run):\n");
-      out.emit(breakeven_policy_check());
-    }
-    return 0;
-  }
-  if (cmd == "segmentation") {
-    if (out.text())
-      std::printf("E5: segmentation ablation (paper: 'leakage power is "
-                  "further reduced by 20%% and 30%% in SDFC and SDPC')\n\n");
-    out.emit(segmentation_ablation(engine));
-    return 0;
-  }
-  if (cmd == "table1") {
-    if (!out.text()) {
-      throw std::invalid_argument(
-          "table1 emits a preformatted text table; --csv/--json are not "
-          "supported here");
-    }
-    const Table1 t = make_table1();
-    write_output(out.path, t.formatted + "\n");
-    if (out.path.empty())
-      std::printf("Paper vs measured:\n%s\n", format_comparison(t).c_str());
-    return 0;
+    spec = build_scenario_spec(*scenario, args);
+    if (scenario->validate) scenario->validate(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lain_bench %s: %s\n\n%s", cmd.c_str(), e.what(),
+                 registry.usage_for(*scenario).c_str());
+    return 2;
   }
 
-  std::fprintf(stderr, "unknown subcommand: %s\n\n", cmd.c_str());
-  return usage(stderr);
+  ContextOptions copt;
+  copt.thread_budget = recommended_thread_budget(spec);
+  LainContext ctx(copt);
+  const SweepEngine engine = ctx.make_engine(spec.threads);
+
+  if (out.text() && scenario->banner) {
+    std::fputs(scenario->banner(spec, engine.threads()).c_str(), stdout);
+  }
+  const ScenarioRun result = scenario->run(ctx, spec, engine);
+  if (scenario->text_only) {
+    write_output(out.path, result.preformatted);
+  } else if (result.table.has_value()) {
+    out.emit(*result.table);
+  } else {
+    throw std::runtime_error("scenario '" + scenario->name +
+                             "' produced no table");
+  }
+  if (out.text() && out.path.empty() && result.extras) {
+    std::fputs(result.extras().c_str(), stdout);
+  }
+  return 0;
 }
 
 }  // namespace

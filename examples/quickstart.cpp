@@ -1,6 +1,7 @@
 // quickstart — the five-minute tour of the LAIN public API:
-//   1. pick a design point (the paper's Table-1 point by default),
-//   2. characterize a leakage-aware crossbar scheme,
+//   1. open a session (LainContext: shared characterization cache +
+//      process-wide thread budget),
+//   2. characterize a leakage-aware crossbar scheme through it,
 //   3. regenerate the paper's Table 1,
 //   4. run a powered NoC simulation with the scheme plugged in.
 
@@ -11,12 +12,15 @@
 using namespace lain;
 
 int main() {
-  // 1. A design point: 5x5 crossbar, 128-bit flits, 45 nm, 3 GHz.
+  // 1. A session and a design point: 5x5 crossbar, 128-bit flits,
+  //    45 nm, 3 GHz.  Every characterization below lands in the
+  //    context's cache; repeated asks are free.
+  core::LainContext ctx;
   xbar::CrossbarSpec spec = xbar::table1_spec();
 
   // 2. Characterize the dual-Vt pre-charged crossbar (DPC).
-  const xbar::Characterization dpc =
-      xbar::characterize(spec, xbar::Scheme::kDPC);
+  const xbar::Characterization& dpc =
+      ctx.characterization(spec, xbar::Scheme::kDPC);
   std::printf("DPC @ 45nm/3GHz: HL %.2f ps, precharge %.2f ps, active "
               "leakage %.2f mW, standby %.2f mW, min idle %d cycles\n\n",
               to_ps(dpc.delay_hl_s), to_ps(dpc.delay_lh_s),
@@ -28,10 +32,14 @@ int main() {
   std::printf("%s\n", table.formatted.c_str());
 
   // 4. System-level: a 5x5 mesh whose router crossbars use SDPC, with
-  //    the Minimum-Idle-Time gating policy applied.
-  const core::NocRunResult run = core::run_powered_noc(
-      xbar::Scheme::kSDPC, /*injection_rate=*/0.1,
-      noc::TrafficPattern::kUniform);
+  //    the Minimum-Idle-Time gating policy applied.  The run reuses
+  //    the session's cached characterization and draws any simulation
+  //    workers from its thread budget.
+  core::NocRunSpec run_spec;
+  run_spec.scheme = xbar::Scheme::kSDPC;
+  run_spec.sim = core::default_mesh_config(/*injection_rate=*/0.1,
+                                           noc::TrafficPattern::kUniform);
+  const core::NocRunResult run = ctx.run_noc(run_spec);
   std::printf("SDPC mesh @ 10%% load: latency %.1f cycles, crossbar power "
               "%.1f mW total, %.0f%% of cycles in standby\n",
               run.avg_packet_latency_cycles, to_mW(run.crossbar_power_w),

@@ -14,9 +14,10 @@
 using namespace lain;
 
 int main() {
+  core::LainContext ctx;
   const xbar::CrossbarSpec spec = xbar::table1_spec();
   const xbar::Scheme scheme = xbar::Scheme::kDFC;
-  const xbar::Characterization c = xbar::characterize(spec, scheme);
+  const xbar::Characterization& c = ctx.characterization(spec, scheme);
 
   std::printf("Sleep-policy exploration for %s (min idle = %d cycles)\n\n",
               scheme_name(scheme).data(), c.min_idle_cycles);

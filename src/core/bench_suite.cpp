@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 
+#include "core/context.hpp"
 #include "core/design_point.hpp"
 #include "core/experiments.hpp"
 #include "noc/parallel/sharded_sim.hpp"
@@ -22,8 +23,11 @@ std::string scheme_str(xbar::Scheme s) {
 // Characterizes (spec-variant, scheme) pairs in parallel and returns
 // the results in job order.  `mutate(spec, i)` applies axis i's spec
 // change; jobs are laid out axis-major: [axis0×schemes..., axis1×...].
+// Each pair goes through the context's cache, so repeated grids (the
+// savings matrix re-walking the scaling grid, a worst-case check
+// re-walking a probability sweep) characterize nothing twice.
 std::vector<xbar::Characterization> characterize_grid(
-    const SweepEngine& engine, std::size_t num_axis_points,
+    LainContext& ctx, const SweepEngine& engine, std::size_t num_axis_points,
     const std::vector<xbar::Scheme>& schemes,
     const std::function<void(xbar::CrossbarSpec&, std::size_t)>& mutate) {
   const std::size_t n = num_axis_points * schemes.size();
@@ -32,13 +36,13 @@ std::vector<xbar::Characterization> characterize_grid(
     const xbar::Scheme scheme = schemes[job % schemes.size()];
     xbar::CrossbarSpec spec = xbar::table1_spec();
     mutate(spec, axis);
-    return xbar::characterize(spec, scheme);
+    return ctx.characterization(spec, scheme);
   });
 }
 
 }  // namespace
 
-ReportTable injection_sweep(const NocSweepOptions& opt,
+ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
                             const SweepEngine& engine) {
   SweepAxes axes;
   axes.schemes = opt.schemes;
@@ -58,7 +62,7 @@ ReportTable injection_sweep(const NocSweepOptions& opt,
         spec.sim.burst_on_mean_cycles = opt.burst_on_mean_cycles;
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
-        return run_powered_noc(spec);
+        return ctx.run_noc(spec);
       });
 
   const bool show_hotspot = opt.hotspot_fracs.size() > 1;
@@ -99,7 +103,7 @@ ReportTable injection_sweep(const NocSweepOptions& opt,
   return t;
 }
 
-ReportTable idle_histogram(const IdleHistogramOptions& opt,
+ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
                            const SweepEngine& engine) {
   SweepAxes axes;
   axes.patterns = opt.patterns;
@@ -115,7 +119,7 @@ ReportTable idle_histogram(const IdleHistogramOptions& opt,
         cfg.hotspot_fraction = p.hotspot_fraction;
         cfg.burst_duty = p.burst_duty;
         cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
-        return idle_run_histogram(cfg, opt.sim_threads);
+        return ctx.idle_histogram(cfg, opt.sim_threads);
       });
 
   const bool show_hotspot = opt.hotspot_fracs.size() > 1;
@@ -155,7 +159,7 @@ ReportTable idle_histogram(const IdleHistogramOptions& opt,
   return t;
 }
 
-ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
                           const SweepEngine& engine) {
   // Job layout: (pattern, radix, rate) x {mesh, torus}.
   struct Point {
@@ -184,7 +188,7 @@ ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
                                    opt.seed);
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
-        return run_powered_noc(spec);
+        return ctx.run_noc(spec);
       });
 
   ReportTable t;
@@ -280,7 +284,7 @@ ReportTable mesh_scaling(const MeshScalingOptions& opt) {
   return t;
 }
 
-ReportTable corner_sweep(const CornerSweepOptions& opt,
+ReportTable corner_sweep(LainContext& ctx, const CornerSweepOptions& opt,
                          const SweepEngine& engine) {
   // Every (temp, scheme) pair, plus a per-temp SC baseline for the
   // saving column when SC is not already on the scheme axis; all
@@ -291,7 +295,7 @@ ReportTable corner_sweep(const CornerSweepOptions& opt,
     if (grid_schemes[s] == xbar::Scheme::kSC) sc_at = s;
   if (sc_at == grid_schemes.size()) grid_schemes.push_back(xbar::Scheme::kSC);
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, opt.temps_c.size(), grid_schemes,
+      ctx, engine, opt.temps_c.size(), grid_schemes,
       [&](xbar::CrossbarSpec& spec, std::size_t axis) {
         spec.temp_k = opt.temps_c[axis] + 273.0;
       });
@@ -350,10 +354,10 @@ ReportTable corner_device_report() {
   return t;
 }
 
-ReportTable node_scaling(const NodeScalingOptions& opt,
+ReportTable node_scaling(LainContext& ctx, const NodeScalingOptions& opt,
                          const SweepEngine& engine) {
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, opt.nodes.size(), opt.schemes,
+      ctx, engine, opt.nodes.size(), opt.schemes,
       [&](xbar::CrossbarSpec& spec, std::size_t axis) {
         spec.node = opt.nodes[axis];
       });
@@ -380,7 +384,8 @@ ReportTable node_scaling(const NodeScalingOptions& opt,
   return t;
 }
 
-ReportTable node_scaling_savings(const NodeScalingOptions& opt,
+ReportTable node_scaling_savings(LainContext& ctx,
+                                 const NodeScalingOptions& opt,
                                  const SweepEngine& engine) {
   // SC anchors the saving column even when not requested: put it at
   // the front of the grid and only emit the requested columns.
@@ -388,7 +393,7 @@ ReportTable node_scaling_savings(const NodeScalingOptions& opt,
   for (xbar::Scheme s : opt.schemes)
     if (s != xbar::Scheme::kSC) grid_schemes.push_back(s);
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, opt.nodes.size(), grid_schemes,
+      ctx, engine, opt.nodes.size(), grid_schemes,
       [&](xbar::CrossbarSpec& spec, std::size_t axis) {
         spec.node = opt.nodes[axis];
       });
@@ -415,14 +420,15 @@ ReportTable node_scaling_savings(const NodeScalingOptions& opt,
   return t;
 }
 
-ReportTable static_probability(const StaticProbabilityOptions& opt,
+ReportTable static_probability(LainContext& ctx,
+                               const StaticProbabilityOptions& opt,
                                const SweepEngine& engine) {
   std::vector<double> ps = opt.probabilities;
   if (ps.empty())
     for (double p = 0.1; p <= 0.91; p += 0.1) ps.push_back(p);
 
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, ps.size(), opt.schemes,
+      ctx, engine, ps.size(), opt.schemes,
       [&](xbar::CrossbarSpec& spec, std::size_t axis) {
         spec.static_probability = ps[axis];
       });
@@ -439,13 +445,14 @@ ReportTable static_probability(const StaticProbabilityOptions& opt,
   return t;
 }
 
-ReportTable static_probability_worst_case(const SweepEngine& engine) {
+ReportTable static_probability_worst_case(LainContext& ctx,
+                                          const SweepEngine& engine) {
   std::vector<double> ps;
   for (double p = 0.05; p <= 0.96; p += 0.05) ps.push_back(p);
   const auto all = xbar::all_schemes();
   const std::vector<xbar::Scheme> schemes(all.begin(), all.end());
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, ps.size(), schemes,
+      ctx, engine, ps.size(), schemes,
       [&](xbar::CrossbarSpec& spec, std::size_t axis) {
         spec.static_probability = ps[axis];
       });
@@ -469,12 +476,12 @@ ReportTable static_probability_worst_case(const SweepEngine& engine) {
   return t;
 }
 
-ReportTable breakeven_table(const SweepEngine& engine) {
+ReportTable breakeven_table(LainContext& ctx, const SweepEngine& engine) {
   const auto all = xbar::all_schemes();
   const std::vector<xbar::Scheme> schemes(all.begin(), all.end());
   const double f = xbar::table1_spec().freq_hz;
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
+      ctx, engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
 
   ReportTable t;
   t.add_column("scheme", 6, Align::kLeft)
@@ -491,12 +498,13 @@ ReportTable breakeven_table(const SweepEngine& engine) {
   return t;
 }
 
-ReportTable breakeven_net_energy(const SweepEngine& engine, int max_idle) {
+ReportTable breakeven_net_energy(LainContext& ctx, const SweepEngine& engine,
+                                 int max_idle) {
   const auto all = xbar::all_schemes();
   const std::vector<xbar::Scheme> schemes(all.begin(), all.end());
   const double f = xbar::table1_spec().freq_hz;
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
+      ctx, engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
 
   ReportTable t;
   t.add_column("N", 6, Align::kLeft);
@@ -537,12 +545,13 @@ ReportTable breakeven_policy_check(int idle_run_cycles) {
   return t;
 }
 
-ReportTable segmentation_ablation(const SweepEngine& engine) {
+ReportTable segmentation_ablation(LainContext& ctx,
+                                  const SweepEngine& engine) {
   const std::vector<xbar::Scheme> schemes{
       xbar::Scheme::kDFC, xbar::Scheme::kSDFC, xbar::Scheme::kDPC,
       xbar::Scheme::kSDPC};
   const std::vector<xbar::Characterization> chars = characterize_grid(
-      engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
+      ctx, engine, 1, schemes, [](xbar::CrossbarSpec&, std::size_t) {});
 
   ReportTable t;
   t.add_column("pair", 12, Align::kLeft)
@@ -570,6 +579,61 @@ ReportTable segmentation_ablation(const SweepEngine& engine) {
   compare(chars[0], chars[1]);
   compare(chars[2], chars[3]);
   return t;
+}
+
+// --- Deprecated context-free shims -----------------------------------------
+// Forward through the process-wide context so legacy callers share
+// the same characterization cache as the session API.
+
+ReportTable injection_sweep(const NocSweepOptions& opt,
+                            const SweepEngine& engine) {
+  return injection_sweep(LainContext::global(), opt, engine);
+}
+
+ReportTable idle_histogram(const IdleHistogramOptions& opt,
+                           const SweepEngine& engine) {
+  return idle_histogram(LainContext::global(), opt, engine);
+}
+
+ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+                          const SweepEngine& engine) {
+  return mesh_vs_torus(LainContext::global(), opt, engine);
+}
+
+ReportTable corner_sweep(const CornerSweepOptions& opt,
+                         const SweepEngine& engine) {
+  return corner_sweep(LainContext::global(), opt, engine);
+}
+
+ReportTable node_scaling(const NodeScalingOptions& opt,
+                         const SweepEngine& engine) {
+  return node_scaling(LainContext::global(), opt, engine);
+}
+
+ReportTable node_scaling_savings(const NodeScalingOptions& opt,
+                                 const SweepEngine& engine) {
+  return node_scaling_savings(LainContext::global(), opt, engine);
+}
+
+ReportTable static_probability(const StaticProbabilityOptions& opt,
+                               const SweepEngine& engine) {
+  return static_probability(LainContext::global(), opt, engine);
+}
+
+ReportTable static_probability_worst_case(const SweepEngine& engine) {
+  return static_probability_worst_case(LainContext::global(), engine);
+}
+
+ReportTable breakeven_table(const SweepEngine& engine) {
+  return breakeven_table(LainContext::global(), engine);
+}
+
+ReportTable breakeven_net_energy(const SweepEngine& engine, int max_idle) {
+  return breakeven_net_energy(LainContext::global(), engine, max_idle);
+}
+
+ReportTable segmentation_ablation(const SweepEngine& engine) {
+  return segmentation_ablation(LainContext::global(), engine);
 }
 
 }  // namespace lain::core

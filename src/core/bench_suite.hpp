@@ -6,6 +6,12 @@
 // ReportTable.  The bench mains and lain_bench subcommands are thin
 // wrappers: axes in, table out — no per-experiment loop or printf
 // formatting left in the executables.
+//
+// Every experiment takes a LainContext first: characterizations come
+// from the context's shared cache (one per distinct (spec, scheme)
+// pair, however many jobs ask) and simulation kernels lease their
+// workers from its thread budget.  The context-free overloads are
+// deprecated shims through LainContext::global().
 
 #pragma once
 
@@ -17,6 +23,8 @@
 #include "tech/itrs.hpp"
 
 namespace lain::core {
+
+class LainContext;
 
 // --- E8: powered-NoC injection sweep ---------------------------------------
 struct NocSweepOptions {
@@ -37,8 +45,10 @@ struct NocSweepOptions {
 // Columns: pattern scheme rate [hotspot] [duty] [seed] lat thr
 // xbar-mW stby% saved-mW.  Optional axis columns appear only with
 // more than one value on that axis.
-ReportTable injection_sweep(const NocSweepOptions& opt,
+ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
                             const SweepEngine& engine);
+ReportTable injection_sweep(const NocSweepOptions& opt,
+                            const SweepEngine& engine);  // deprecated shim
 
 // --- E9: crossbar idle-run-length distribution -----------------------------
 struct IdleHistogramOptions {
@@ -52,8 +62,10 @@ struct IdleHistogramOptions {
 };
 // Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
 // gateable fraction >= 1/2/3.
-ReportTable idle_histogram(const IdleHistogramOptions& opt,
+ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
                            const SweepEngine& engine);
+ReportTable idle_histogram(const IdleHistogramOptions& opt,
+                           const SweepEngine& engine);  // deprecated shim
 
 // --- Mesh-vs-torus topology comparison -------------------------------------
 struct MeshVsTorusOptions {
@@ -69,8 +81,10 @@ struct MeshVsTorusOptions {
 // One row per (pattern, radix, rate): mesh and torus latency,
 // throughput and crossbar power side by side.  The torus has been
 // simulated (dateline VCs) since the seed but no bench exposed it.
-ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
                           const SweepEngine& engine);
+ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
+                          const SweepEngine& engine);  // deprecated shim
 
 // --- Sharded-kernel node-count scaling -------------------------------------
 struct MeshScalingOptions {
@@ -94,8 +108,10 @@ struct CornerSweepOptions {
   std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDFC,
                                     xbar::Scheme::kDPC, xbar::Scheme::kSDPC};
 };
-ReportTable corner_sweep(const CornerSweepOptions& opt,
+ReportTable corner_sweep(LainContext& ctx, const CornerSweepOptions& opt,
                          const SweepEngine& engine);
+ReportTable corner_sweep(const CornerSweepOptions& opt,
+                         const SweepEngine& engine);  // deprecated shim
 // Device-level SS/TT/FF check (1 um NMOS): Ioff, high-Vt Ioff, Ion,
 // dual-Vt leakage ratio.
 ReportTable corner_device_report();
@@ -107,11 +123,16 @@ struct NodeScalingOptions {
   std::vector<xbar::Scheme> schemes{xbar::Scheme::kSC, xbar::Scheme::kDPC,
                                     xbar::Scheme::kSDPC};
 };
-ReportTable node_scaling(const NodeScalingOptions& opt,
+ReportTable node_scaling(LainContext& ctx, const NodeScalingOptions& opt,
                          const SweepEngine& engine);
+ReportTable node_scaling(const NodeScalingOptions& opt,
+                         const SweepEngine& engine);  // deprecated shim
 // Savings-vs-SC matrix: one row per node, one column per scheme.
-ReportTable node_scaling_savings(const NodeScalingOptions& opt,
+ReportTable node_scaling_savings(LainContext& ctx,
+                                 const NodeScalingOptions& opt,
                                  const SweepEngine& engine);
+ReportTable node_scaling_savings(const NodeScalingOptions& opt,
+                                 const SweepEngine& engine);  // deprecated shim
 
 // --- E7: static-probability sweep ------------------------------------------
 struct StaticProbabilityOptions {
@@ -120,17 +141,29 @@ struct StaticProbabilityOptions {
                                     xbar::Scheme::kDPC, xbar::Scheme::kSDFC,
                                     xbar::Scheme::kSDPC};
 };
-ReportTable static_probability(const StaticProbabilityOptions& opt,
+ReportTable static_probability(LainContext& ctx,
+                               const StaticProbabilityOptions& opt,
                                const SweepEngine& engine);
+ReportTable static_probability(const StaticProbabilityOptions& opt,
+                               const SweepEngine& engine);  // deprecated shim
 // Worst-case p per scheme (the Table-1 footnote check).
-ReportTable static_probability_worst_case(const SweepEngine& engine);
+ReportTable static_probability_worst_case(LainContext& ctx,
+                                          const SweepEngine& engine);
+ReportTable static_probability_worst_case(
+    const SweepEngine& engine);  // deprecated shim
 
 // --- E6: Minimum Idle Time breakeven ---------------------------------------
-ReportTable breakeven_table(const SweepEngine& engine);
-ReportTable breakeven_net_energy(const SweepEngine& engine, int max_idle = 10);
+ReportTable breakeven_table(LainContext& ctx, const SweepEngine& engine);
+ReportTable breakeven_table(const SweepEngine& engine);  // deprecated shim
+ReportTable breakeven_net_energy(LainContext& ctx, const SweepEngine& engine,
+                                 int max_idle = 10);
+ReportTable breakeven_net_energy(const SweepEngine& engine,
+                                 int max_idle = 10);  // deprecated shim
 ReportTable breakeven_policy_check(int idle_run_cycles = 50);
 
 // --- E5: segmentation ablation ---------------------------------------------
-ReportTable segmentation_ablation(const SweepEngine& engine);
+ReportTable segmentation_ablation(LainContext& ctx,
+                                  const SweepEngine& engine);
+ReportTable segmentation_ablation(const SweepEngine& engine);  // deprecated shim
 
 }  // namespace lain::core

@@ -1,0 +1,151 @@
+#include "core/context.hpp"
+
+#include <tuple>
+
+#include "noc/parallel/sharded_sim.hpp"
+
+namespace lain::core {
+
+namespace {
+
+// spec_tie must enumerate EVERY field of CrossbarSpec and
+// DeviceSizing: a missed field would silently alias distinct specs to
+// one cache entry.  The size tripwires below break the build here
+// when either struct grows — extend the tuple, then update the sizes
+// (x86-64 layout: 12 doubles; 2 ints + 3 doubles + 2 enums + sizing).
+static_assert(sizeof(xbar::DeviceSizing) == 12 * sizeof(double),
+              "DeviceSizing changed: update spec_tie()");
+static_assert(sizeof(xbar::CrossbarSpec) ==
+                  sizeof(xbar::DeviceSizing) + 5 * sizeof(double),
+              "CrossbarSpec changed: update spec_tie()");
+
+auto spec_tie(const xbar::CrossbarSpec& s) {
+  const xbar::DeviceSizing& z = s.sizing;
+  return std::make_tuple(
+      s.ports, s.flit_bits, s.freq_hz, s.static_probability,
+      static_cast<int>(s.node), static_cast<int>(s.tier), s.temp_k,
+      z.pass_width_m, z.drv1_wn_m, z.drv1_wp_m, z.drv2_wn_m, z.drv2_wp_m,
+      z.keeper_width_m, z.sleep_width_m, z.precharge_width_m,
+      z.precharge_seg_width_m, z.input_drv_wn_m, z.input_drv_wp_m,
+      z.segment_switch_width_m);
+}
+
+// Kernel the spec asks for: serial for sim_threads == 1, sharded
+// otherwise (auto-sharded when <= 0), with the sharded kernel's extra
+// worker lanes leased from the context's thread budget.
+struct KernelHandle {
+  std::unique_ptr<noc::SimKernel> kernel;
+  noc::Network* net = nullptr;
+};
+
+KernelHandle make_kernel(const noc::SimConfig& cfg, int sim_threads,
+                         ThreadBudget* budget) {
+  KernelHandle h;
+  if (sim_threads == 1) {
+    auto sim = std::make_unique<noc::Simulation>(cfg);
+    h.net = &sim->network();
+    h.kernel = std::move(sim);
+  } else {
+    auto sim =
+        std::make_unique<noc::ShardedSimulation>(cfg, sim_threads, budget);
+    h.net = &sim->network();
+    h.kernel = std::move(sim);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool CharacterizationCache::KeyLess::operator()(
+    const std::pair<xbar::CrossbarSpec, xbar::Scheme>& a,
+    const std::pair<xbar::CrossbarSpec, xbar::Scheme>& b) const {
+  if (a.second != b.second) return a.second < b.second;
+  return spec_tie(a.first) < spec_tie(b.first);
+}
+
+const xbar::Characterization& CharacterizationCache::get(
+    const xbar::CrossbarSpec& spec, xbar::Scheme scheme) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const auto key = std::make_pair(spec, scheme);
+
+  Entry* entry = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) entry = it->second.get();
+  }
+  if (!entry) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      it = entries_.emplace(key, std::make_unique<Entry>()).first;
+    }
+    entry = it->second.get();
+  }
+
+  // Outside the map locks: the first caller per key characterizes,
+  // concurrent callers for the same key block until it is done.  A
+  // throwing characterize leaves the flag unset, so the next caller
+  // retries instead of seeing a half-built value.
+  std::call_once(entry->once, [&] {
+    entry->value = xbar::characterize(spec, scheme);
+    characterizations_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry->value;
+}
+
+std::size_t CharacterizationCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+LainContext::LainContext(const ContextOptions& opt)
+    : budget_(opt.thread_budget) {}
+
+LainContext& LainContext::global() {
+  static LainContext* ctx = new LainContext();
+  return *ctx;
+}
+
+NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
+  KernelHandle h = make_kernel(spec.sim, spec.sim_threads, &budget_);
+  const NocPowerConfig pcfg =
+      default_noc_power(spec.scheme, spec.enable_gating);
+  PoweredNoc powered(*h.net, pcfg,
+                     characterization(pcfg.xbar_spec, pcfg.scheme));
+  const noc::SimStats stats = h.kernel->run();
+
+  NocRunResult r;
+  r.scheme = spec.scheme;
+  r.injection_rate = spec.sim.injection_rate;
+  r.pattern = spec.sim.pattern;
+  r.avg_packet_latency_cycles = stats.packet_latency.mean();
+  r.throughput_flits_node_cycle = stats.throughput_flits_per_node_cycle();
+  r.network_power_w = powered.average_power_w();
+  r.crossbar_power_w = powered.crossbar_average_power_w();
+  const auto cycles = powered.total_cycles();
+  r.standby_fraction =
+      cycles ? static_cast<double>(powered.standby_cycles()) / cycles : 0.0;
+  const double seconds =
+      cycles ? static_cast<double>(cycles) /
+                   static_cast<double>(h.net->num_nodes()) /
+                   powered.config().xbar_spec.freq_hz
+             : 0.0;
+  r.realized_saving_w =
+      seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
+  r.saturated = h.kernel->saturated();
+  return r;
+}
+
+noc::Histogram LainContext::idle_histogram(const noc::SimConfig& cfg,
+                                           int sim_threads) {
+  KernelHandle h = make_kernel(cfg, sim_threads, &budget_);
+  h.kernel->run();
+  noc::Histogram merged;
+  for (noc::NodeId n = 0; n < h.net->num_nodes(); ++n) {
+    merged.merge(h.net->router(n).activity().idle_runs());
+  }
+  return merged;
+}
+
+}  // namespace lain::core

@@ -1,5 +1,7 @@
 #include "core/design_point.hpp"
 
+#include "core/context.hpp"
+
 namespace lain::core {
 
 DesignPoint::DesignPoint(const xbar::CrossbarSpec& spec) : spec_(spec) {
@@ -7,11 +9,7 @@ DesignPoint::DesignPoint(const xbar::CrossbarSpec& spec) : spec_(spec) {
 }
 
 const xbar::Characterization& DesignPoint::of(xbar::Scheme scheme) {
-  auto it = cache_.find(scheme);
-  if (it == cache_.end()) {
-    it = cache_.emplace(scheme, xbar::characterize(spec_, scheme)).first;
-  }
-  return it->second;
+  return LainContext::global().characterization(spec_, scheme);
 }
 
 std::vector<xbar::Characterization> DesignPoint::all() {

@@ -1,11 +1,17 @@
 // design_point.hpp — (scheme, technology, spec) -> characterization.
 //
-// Thin caching facade over xbar::characterize so examples, benches and
-// the NoC integration share one entry point.
+// Thin facade over the process-wide characterization cache
+// (LainContext::global()), so examples, benches and the NoC
+// integration share one entry point AND one cache: two DesignPoints
+// at the same spec hit the same cached objects.
+//
+// The global cache never evicts, so entries live for the process —
+// the right trade for sweeps that revisit a bounded spec family.  A
+// tool enumerating an unbounded stream of distinct specs should use a
+// scoped LainContext's cache instead of DesignPoint.
 
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "xbar/characterize.hpp"
@@ -18,7 +24,8 @@ class DesignPoint {
 
   const xbar::CrossbarSpec& spec() const { return spec_; }
 
-  // Characterization for one scheme (computed once, cached).
+  // Characterization for one scheme (computed once per distinct
+  // (spec, scheme) pair process-wide, cached; reference stable).
   const xbar::Characterization& of(xbar::Scheme scheme);
 
   // All five schemes, SC first (the order Table 1 uses).
@@ -26,7 +33,6 @@ class DesignPoint {
 
  private:
   xbar::CrossbarSpec spec_;
-  std::map<xbar::Scheme, xbar::Characterization> cache_;
 };
 
 }  // namespace lain::core

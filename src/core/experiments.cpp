@@ -1,36 +1,8 @@
 #include "core/experiments.hpp"
 
-#include <memory>
-
-#include "noc/parallel/sharded_sim.hpp"
+#include "core/context.hpp"
 
 namespace lain::core {
-
-namespace {
-
-// Builds the kernel a spec asks for: serial for sim_threads == 1,
-// sharded otherwise (auto-sharded when <= 0).  Both derive SimKernel,
-// so the callers below drive them identically.
-struct KernelHandle {
-  std::unique_ptr<noc::SimKernel> kernel;
-  noc::Network* net = nullptr;
-};
-
-KernelHandle make_kernel(const noc::SimConfig& cfg, int sim_threads) {
-  KernelHandle h;
-  if (sim_threads == 1) {
-    auto sim = std::make_unique<noc::Simulation>(cfg);
-    h.net = &sim->network();
-    h.kernel = std::move(sim);
-  } else {
-    auto sim = std::make_unique<noc::ShardedSimulation>(cfg, sim_threads);
-    h.net = &sim->network();
-    h.kernel = std::move(sim);
-  }
-  return h;
-}
-
-}  // namespace
 
 NocPowerConfig default_noc_power(xbar::Scheme scheme, bool enable_gating) {
   NocPowerConfig cfg;
@@ -72,31 +44,7 @@ noc::SimConfig default_mesh_config(double injection_rate,
 }
 
 NocRunResult run_powered_noc(const NocRunSpec& spec) {
-  KernelHandle h = make_kernel(spec.sim, spec.sim_threads);
-  PoweredNoc powered(*h.net, default_noc_power(spec.scheme,
-                                               spec.enable_gating));
-  const noc::SimStats stats = h.kernel->run();
-
-  NocRunResult r;
-  r.scheme = spec.scheme;
-  r.injection_rate = spec.sim.injection_rate;
-  r.pattern = spec.sim.pattern;
-  r.avg_packet_latency_cycles = stats.packet_latency.mean();
-  r.throughput_flits_node_cycle = stats.throughput_flits_per_node_cycle();
-  r.network_power_w = powered.average_power_w();
-  r.crossbar_power_w = powered.crossbar_average_power_w();
-  const auto cycles = powered.total_cycles();
-  r.standby_fraction =
-      cycles ? static_cast<double>(powered.standby_cycles()) / cycles : 0.0;
-  const double seconds =
-      cycles ? static_cast<double>(cycles) /
-                   static_cast<double>(h.net->num_nodes()) /
-                   powered.config().xbar_spec.freq_hz
-             : 0.0;
-  r.realized_saving_w =
-      seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
-  r.saturated = h.kernel->saturated();
-  return r;
+  return LainContext::global().run_noc(spec);
 }
 
 NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
@@ -110,13 +58,7 @@ NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
 }
 
 noc::Histogram idle_run_histogram(const noc::SimConfig& cfg, int sim_threads) {
-  KernelHandle h = make_kernel(cfg, sim_threads);
-  h.kernel->run();
-  noc::Histogram merged;
-  for (noc::NodeId n = 0; n < h.net->num_nodes(); ++n) {
-    merged.merge(h.net->router(n).activity().idle_runs());
-  }
-  return merged;
+  return LainContext::global().idle_histogram(cfg, sim_threads);
 }
 
 noc::Histogram idle_run_histogram(double injection_rate,

@@ -54,16 +54,22 @@ struct NocRunSpec {
   bool enable_gating = true;
   int sim_threads = 1;
 };
+
+// Deprecated shim: forwards through LainContext::global().run_noc(),
+// so the characterization comes from the process-wide cache.  New
+// code should take a LainContext (see core/context.hpp).
 NocRunResult run_powered_noc(const NocRunSpec& spec);
 
-// Runs one powered simulation (E8): 5x5 mesh + scheme + injection rate.
+// Deprecated shim: one powered simulation (E8) on the default 5x5
+// mesh, through LainContext::global().
 NocRunResult run_powered_noc(xbar::Scheme scheme, double injection_rate,
                              noc::TrafficPattern pattern,
                              bool enable_gating = true,
                              std::uint64_t seed = 1);
 
 // Idle-run-length histogram of every router's crossbar under the given
-// load (E9).  Returns the merged histogram.
+// load (E9).  Returns the merged histogram.  Deprecated shims through
+// LainContext::global().idle_histogram().
 noc::Histogram idle_run_histogram(const noc::SimConfig& cfg,
                                   int sim_threads = 1);
 noc::Histogram idle_run_histogram(double injection_rate,

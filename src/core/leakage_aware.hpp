@@ -14,11 +14,14 @@
 #pragma once
 
 #include "core/bench_suite.hpp"       // IWYU pragma: export
+#include "core/context.hpp"           // IWYU pragma: export
 #include "core/design_point.hpp"      // IWYU pragma: export
 #include "core/experiments.hpp"       // IWYU pragma: export
 #include "core/noc_integration.hpp"   // IWYU pragma: export
 #include "core/reporting.hpp"         // IWYU pragma: export
+#include "core/scenario.hpp"          // IWYU pragma: export
 #include "core/sweep.hpp"             // IWYU pragma: export
 #include "core/table1.hpp"            // IWYU pragma: export
+#include "core/thread_budget.hpp"     // IWYU pragma: export
 #include "power/report.hpp"           // IWYU pragma: export
 #include "xbar/characterize.hpp"      // IWYU pragma: export

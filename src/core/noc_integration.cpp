@@ -37,7 +37,11 @@ void RouterPowerHook::on_cycle(const noc::RouterEvents& ev) {
 }
 
 PoweredNoc::PoweredNoc(noc::Network& net, const NocPowerConfig& cfg)
-    : cfg_(cfg), chars_(xbar::characterize(cfg.xbar_spec, cfg.scheme)) {
+    : PoweredNoc(net, cfg, xbar::characterize(cfg.xbar_spec, cfg.scheme)) {}
+
+PoweredNoc::PoweredNoc(noc::Network& net, const NocPowerConfig& cfg,
+                       const xbar::Characterization& chars)
+    : cfg_(cfg), chars_(chars) {
   if (cfg.xbar_spec.ports != noc::kNumPorts) {
     throw std::invalid_argument(
         "crossbar spec must have 5 ports to match the mesh router");

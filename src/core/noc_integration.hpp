@@ -46,7 +46,14 @@ class RouterPowerHook final : public noc::PowerHook {
 // accounts stay deterministic at any shard count.
 class PoweredNoc {
  public:
+  // Characterizes cfg's (spec, scheme) itself.  Prefer the
+  // three-argument overload with LainContext::characterization() so
+  // repeated runs share one cached characterization.
   explicit PoweredNoc(noc::Network& net, const NocPowerConfig& cfg);
+  // Uses a precomputed characterization (copied) instead of
+  // recomputing it — the constructor the session API goes through.
+  PoweredNoc(noc::Network& net, const NocPowerConfig& cfg,
+             const xbar::Characterization& chars);
   PoweredNoc(noc::Simulation& sim, const NocPowerConfig& cfg)
       : PoweredNoc(sim.network(), cfg) {}
 

@@ -1,7 +1,6 @@
 #include "core/sweep.hpp"
 
 #include <exception>
-#include <thread>
 
 #include "noc/rng.hpp"
 
@@ -51,9 +50,14 @@ SweepAxes& SweepAxes::replicates(int n, std::uint64_t base) {
 }
 
 SweepEngine::SweepEngine(int threads) : threads_(threads) {
-  if (threads_ <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads_ = hw ? static_cast<int>(hw) : 1;
+  if (threads_ <= 0) threads_ = hardware_lanes();
+}
+
+SweepEngine::SweepEngine(int threads, ThreadBudget* budget)
+    : SweepEngine(threads) {
+  if (budget) {
+    lease_ = budget->acquire(threads_, /*min_grant=*/1);
+    threads_ = lease_.count();
   }
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_budget.hpp"
 #include "core/thread_pool.hpp"
 #include "noc/config.hpp"
 #include "xbar/scheme.hpp"
@@ -69,6 +70,13 @@ class SweepEngine {
   // threads <= 0 means hardware_concurrency (at least 1).
   explicit SweepEngine(int threads = 1);
 
+  // Budget-aware engine (what LainContext::make_engine returns): the
+  // resolved thread count is leased from `budget` for the engine's
+  // lifetime, so nested sharded simulations see the lanes as taken
+  // and size themselves to what remains.  The floor of one lane is
+  // the calling thread running jobs inline.
+  SweepEngine(int threads, ThreadBudget* budget);
+
   int threads() const { return threads_; }
 
   // Runs fn(i) for every i in [0, n).  Jobs are claimed from an
@@ -99,6 +107,7 @@ class SweepEngine {
 
  private:
   int threads_;
+  ThreadBudget::Lease lease_;  // empty for budget-free engines
   // Lazy so single-threaded engines (the default in tests and thin
   // wrappers) never spawn a worker; mutable because run() is
   // logically const.

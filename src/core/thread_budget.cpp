@@ -1,0 +1,48 @@
+#include "core/thread_budget.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace lain::core {
+
+int hardware_lanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+ThreadBudget::ThreadBudget(int total) : total_(total) {
+  if (total_ <= 0) total_ = hardware_lanes();
+}
+
+ThreadBudget::Lease ThreadBudget::acquire(int desired, int min_grant) {
+  desired = std::max(desired, 0);
+  min_grant = std::max(min_grant, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const int available = std::max(total_ - in_use_, 0);
+  const int grant = std::max(min_grant, std::min(desired, available));
+  in_use_ += grant;
+  return Lease(this, grant);
+}
+
+int ThreadBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+int ThreadBudget::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::max(total_ - in_use_, 0);
+}
+
+void ThreadBudget::release(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_use_ -= count;
+}
+
+void ThreadBudget::Lease::release() {
+  if (budget_ && count_ > 0) budget_->release(count_);
+  budget_ = nullptr;
+  count_ = 0;
+}
+
+}  // namespace lain::core

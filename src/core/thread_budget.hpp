@@ -1,0 +1,89 @@
+// thread_budget.hpp — a process-wide cap on concurrent worker lanes.
+//
+// The system has two parallelism levels: SweepEngine runs experiment
+// jobs on a pool, and each job may run a ShardedSimulation that wants
+// worker threads of its own.  Sized independently they multiply —
+// `--threads 8 --sim-threads 4` used to spawn 8 x 4 = 32 live workers
+// on an 8-core machine.  A ThreadBudget makes the two levels
+// cooperate: every component that wants concurrent execution lanes
+// acquires a Lease and sizes itself to what it was granted, so the
+// total number of live lanes never exceeds the budget.  When the
+// budget is spent, nested components degrade gracefully (a sharded
+// simulation granted zero extra lanes runs serial on its caller)
+// instead of oversubscribing.
+//
+// A "lane" is a concurrent execution context doing work: a pool
+// worker, or the calling thread itself when it runs jobs inline.  The
+// `min_grant` parameter covers the latter — a caller that will run
+// regardless (on a lane its enclosing lease already accounts for) may
+// insist on a floor without spawning anything new.
+
+#pragma once
+
+#include <mutex>
+
+namespace lain::core {
+
+// hardware_concurrency with the zero-means-unknown case folded to 1 —
+// the one definition of "all cores" every lane-sizing component
+// (ThreadBudget, ThreadPool, SweepEngine, auto-sharding) shares.
+int hardware_lanes();
+
+class ThreadBudget {
+ public:
+  // total <= 0 means hardware_concurrency (at least 1).
+  explicit ThreadBudget(int total = 0);
+
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+
+  // RAII grant of `count()` lanes; returns them on destruction (or an
+  // explicit release()).  Default-constructed leases are empty.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept : budget_(o.budget_), count_(o.count_) {
+      o.budget_ = nullptr;
+      o.count_ = 0;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        budget_ = o.budget_;
+        count_ = o.count_;
+        o.budget_ = nullptr;
+        o.count_ = 0;
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    int count() const { return count_; }
+    void release();
+
+   private:
+    friend class ThreadBudget;
+    Lease(ThreadBudget* budget, int count) : budget_(budget), count_(count) {}
+    ThreadBudget* budget_ = nullptr;
+    int count_ = 0;
+  };
+
+  // Grants min(desired, available) lanes, floored at `min_grant`.
+  // With min_grant 0 the grant never overdraws the budget; a nonzero
+  // floor is for lanes the caller occupies anyway (see header note)
+  // and is the only way in_use() can exceed total().
+  Lease acquire(int desired, int min_grant = 0);
+
+  int total() const { return total_; }
+  int in_use() const;
+  int available() const;
+
+ private:
+  void release(int count);
+
+  mutable std::mutex mu_;
+  int total_;
+  int in_use_ = 0;
+};
+
+}  // namespace lain::core

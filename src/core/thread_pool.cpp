@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <exception>
 
+#include "core/thread_budget.hpp"
+
 namespace lain::core {
 
 ThreadPool::ThreadPool(int threads) {
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw ? static_cast<int>(hw) : 1;
-  }
+  if (threads <= 0) threads = hardware_lanes();
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });

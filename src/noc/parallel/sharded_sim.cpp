@@ -1,7 +1,6 @@
 #include "noc/parallel/sharded_sim.hpp"
 
 #include <algorithm>
-#include <thread>
 
 namespace lain::noc {
 
@@ -9,14 +8,17 @@ int ShardedSimulation::auto_shards(const SimConfig& cfg, int requested) {
   const int nodes = cfg.num_nodes();
   if (requested > 0) return std::min(requested, nodes);
   if (nodes < 64) return 1;
-  const unsigned hw = std::thread::hardware_concurrency();
-  const int threads = hw ? static_cast<int>(hw) : 1;
-  return std::max(1, std::min(threads, cfg.radix_y));
+  return std::max(1, std::min(core::hardware_lanes(), cfg.radix_y));
 }
 
-ShardedSimulation::ShardedSimulation(const SimConfig& cfg, int num_shards)
+ShardedSimulation::ShardedSimulation(const SimConfig& cfg, int num_shards,
+                                     core::ThreadBudget* budget)
     : SimKernel(cfg), net_(cfg), gen_(cfg) {
-  const int shards = auto_shards(cfg, num_shards);
+  int shards = auto_shards(cfg, num_shards);
+  if (budget && shards > 1) {
+    lease_ = budget->acquire(shards - 1, /*min_grant=*/0);
+    shards = lease_.count() + 1;
+  }
   const int nodes = cfg.num_nodes();
   shards_.resize(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_budget.hpp"
 #include "core/thread_pool.hpp"
 #include "noc/kernel.hpp"
 
@@ -39,7 +40,15 @@ class ShardedSimulation final : public SimKernel {
   // num_shards <= 0 picks auto_shards(cfg, 0).  The shard count is
   // clamped to the node count; one shard degenerates to the serial
   // inline step (no workers, no barriers).
-  ShardedSimulation(const SimConfig& cfg, int num_shards);
+  //
+  // With a ThreadBudget the simulation leases its extra worker lanes
+  // (shards - 1; the driver lane belongs to the caller) for its
+  // lifetime and runs with 1 + granted shards — so nested under a
+  // budget-aware sweep it degrades toward serial instead of
+  // oversubscribing.  Stats are bit-identical at any shard count, so
+  // the degradation changes wall clock only.
+  ShardedSimulation(const SimConfig& cfg, int num_shards,
+                    core::ThreadBudget* budget = nullptr);
   ~ShardedSimulation() override;
 
   void step() override;
@@ -70,6 +79,7 @@ class ShardedSimulation final : public SimKernel {
   Network net_;
   TrafficGenerator gen_;
   std::vector<Shard> shards_;
+  core::ThreadBudget::Lease lease_;  // extra worker lanes (may be empty)
 
   // Worker machinery (only engaged with more than one shard).
   std::unique_ptr<core::ThreadPool> pool_;

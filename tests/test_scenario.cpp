@@ -1,0 +1,167 @@
+// test_scenario.cpp — the declarative scenario layer: registry
+// lookup, registry-derived usage, per-scenario flag acceptance, spec
+// building with layered defaults, and one end-to-end run through the
+// registry.
+
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/context.hpp"
+#include "noc/rng.hpp"
+
+namespace lain::core {
+namespace {
+
+ArgParser parse(const Scenario& sc, std::vector<const char*> argv) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  return ArgParser(static_cast<int>(argv.size()), argv.data(),
+                   reg.value_flags_for(sc), reg.switch_flags_for(sc));
+}
+
+TEST(ScenarioRegistry, BuiltinCoversEverySubcommand) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const char* expected[] = {
+      "injection_sweep", "idle_histogram", "corner_sweep",
+      "node_scaling",    "mesh_vs_torus",  "mesh_scaling",
+      "static_probability", "breakeven",   "segmentation", "table1"};
+  ASSERT_EQ(reg.scenarios().size(), std::size(expected));
+  for (const char* name : expected) {
+    const Scenario* sc = reg.find(name);
+    ASSERT_NE(sc, nullptr) << name;
+    EXPECT_TRUE(sc->run != nullptr) << name;
+    EXPECT_FALSE(sc->summary.empty()) << name;
+  }
+  EXPECT_EQ(reg.find("frobnicate"), nullptr);
+}
+
+TEST(ScenarioRegistry, UsageIsRegistryDerived) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const std::string usage = reg.usage();
+  EXPECT_NE(usage.find("usage: lain_bench <subcommand>"), std::string::npos);
+  for (const Scenario& sc : reg.scenarios()) {
+    EXPECT_NE(usage.find(sc.name), std::string::npos) << sc.name;
+    EXPECT_NE(reg.list().find(sc.summary), std::string::npos) << sc.name;
+  }
+}
+
+TEST(ScenarioRegistry, PerScenarioUsageListsOnlyAcceptedFlags) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const std::string breakeven = reg.usage_for(*reg.find("breakeven"));
+  EXPECT_NE(breakeven.find("--threads"), std::string::npos);
+  EXPECT_EQ(breakeven.find("--rates"), std::string::npos);
+
+  const std::string injection = reg.usage_for(*reg.find("injection_sweep"));
+  EXPECT_NE(injection.find("--rates"), std::string::npos);
+  EXPECT_NE(injection.find("--no-gating"), std::string::npos);
+  EXPECT_NE(injection.find("--replicates"), std::string::npos);
+}
+
+TEST(ScenarioRegistry, ScenariosRejectForeignFlags) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& breakeven = *reg.find("breakeven");
+  // --rates belongs to sweep scenarios, not breakeven: the parser
+  // built from the scenario's flag set must throw, which is what
+  // makes lain_bench exit nonzero instead of silently ignoring it.
+  EXPECT_THROW(parse(breakeven, {"--rates", "0.5"}), std::invalid_argument);
+  const Scenario& table1 = *reg.find("table1");
+  EXPECT_THROW(parse(table1, {"--temps", "25"}), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, BuildAppliesLayeredDefaults) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sc = *reg.find("injection_sweep");
+  const ScenarioSpec spec = build_scenario_spec(sc, parse(sc, {}));
+
+  // Scenario default overrides the global "uniform".
+  const std::vector<noc::TrafficPattern> patterns{
+      noc::TrafficPattern::kUniform, noc::TrafficPattern::kTranspose};
+  EXPECT_EQ(spec.patterns, patterns);
+  // Global defaults.
+  const std::vector<double> rates{0.05, 0.15, 0.30};
+  EXPECT_EQ(spec.rates, rates);
+  EXPECT_EQ(spec.schemes.size(), 5u);  // "all"
+  EXPECT_EQ(spec.seeds, std::vector<std::uint64_t>{1});
+  EXPECT_TRUE(spec.gating);
+  EXPECT_EQ(spec.threads, 1);
+  EXPECT_EQ(spec.sim_threads, 1);
+}
+
+TEST(ScenarioSpec, BuildParsesAxisFlags) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sc = *reg.find("injection_sweep");
+  const ScenarioSpec spec = build_scenario_spec(
+      sc, parse(sc, {"--rates", "0.1,0.2", "--schemes", "sc", "--seed", "9",
+                     "--replicates", "3", "--sim-threads", "2",
+                     "--no-gating"}));
+
+  const std::vector<double> rates{0.1, 0.2};
+  EXPECT_EQ(spec.rates, rates);
+  EXPECT_EQ(spec.schemes, std::vector<xbar::Scheme>{xbar::Scheme::kSC});
+  EXPECT_EQ(spec.sim_threads, 2);
+  EXPECT_FALSE(spec.gating);
+  ASSERT_EQ(spec.seeds.size(), 3u);
+  for (std::size_t k = 0; k < spec.seeds.size(); ++k) {
+    EXPECT_EQ(spec.seeds[k],
+              noc::mix_seed(9, static_cast<std::uint64_t>(k)));
+  }
+}
+
+TEST(ScenarioSpec, MeshScalingTakesSimThreadList) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sc = *reg.find("mesh_scaling");
+  ASSERT_TRUE(sc.sim_threads_as_list);
+  const ScenarioSpec spec =
+      build_scenario_spec(sc, parse(sc, {"--sim-threads", "1,2"}));
+  const std::vector<int> list{1, 2};
+  EXPECT_EQ(spec.sim_thread_list, list);
+  const std::vector<int> radices{8, 16};  // scenario default
+  EXPECT_EQ(spec.radices, radices);
+
+  // Elsewhere --sim-threads is a single integer.
+  const Scenario& sweep = *reg.find("injection_sweep");
+  EXPECT_THROW(
+      build_scenario_spec(sweep, parse(sweep, {"--sim-threads", "2,4"})),
+      std::invalid_argument);
+}
+
+TEST(ScenarioSpec, MeshVsTorusValidatesSingleScheme) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sc = *reg.find("mesh_vs_torus");
+  ASSERT_TRUE(sc.validate != nullptr);
+  const ScenarioSpec ok =
+      build_scenario_spec(sc, parse(sc, {"--schemes", "dpc"}));
+  EXPECT_NO_THROW(sc.validate(ok));
+  const ScenarioSpec bad =
+      build_scenario_spec(sc, parse(sc, {"--schemes", "sc,sdpc"}));
+  EXPECT_THROW(sc.validate(bad), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RecommendedBudgetCoversEachRequestedLevel) {
+  ScenarioSpec spec;
+  spec.threads = 8;
+  EXPECT_GE(recommended_thread_budget(spec), 8);
+  spec.threads = 1;
+  spec.sim_threads = 4;
+  EXPECT_GE(recommended_thread_budget(spec), 4);
+  spec.sim_threads = 0;  // auto: the kernel sizes itself
+  EXPECT_GE(recommended_thread_budget(spec), 1);
+}
+
+TEST(ScenarioRegistry, BreakevenRunsEndToEnd) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sc = *reg.find("breakeven");
+  LainContext ctx;
+  const SweepEngine engine = ctx.make_engine(1);
+  const ScenarioRun run =
+      sc.run(ctx, build_scenario_spec(sc, parse(sc, {})), engine);
+  ASSERT_TRUE(run.table.has_value());
+  EXPECT_EQ(run.table->num_rows(), 5u);  // one per scheme
+  ASSERT_TRUE(run.extras != nullptr);
+  EXPECT_NE(run.extras().find("Timeout-policy check"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lain::core
