@@ -1,27 +1,9 @@
-// E6 — Minimum Idle Time breakeven analysis (Table 1, row 5).
-// For each scheme: sleep penalty, per-cycle standby saving, the
-// resulting minimum idle time, and a sweep of net energy vs actual
-// idle-run length showing where gating starts to pay.  Thin wrapper
-// over the core::breakeven_* suite.
+// E6 — Minimum Idle Time breakeven analysis.  Shim over the
+// registry's breakeven scenario: identical flags, defaults and output
+// to `lain_bench breakeven` by construction.
 
-#include <cstdio>
+#include "core/scenario.hpp"
 
-#include "core/bench_suite.hpp"
-
-using namespace lain::core;
-
-int main() {
-  std::printf("E6: Minimum Idle Time breakeven (paper row: SC 3, DFC 2, "
-              "DPC 1, SDFC 3, SDPC 1)\n\n");
-  const SweepEngine engine(0);
-  std::printf("%s", breakeven_table(engine).to_text().c_str());
-
-  std::printf("\nNet energy of gating one idle run of N cycles "
-              "(negative = loss), in pJ:\n");
-  std::printf("%s", breakeven_net_energy(engine).to_text().c_str());
-
-  std::printf("\nTimeout-policy check (threshold = min idle), idle run of "
-              "50 cycles:\n");
-  std::printf("%s", breakeven_policy_check().to_text().c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return lain::core::scenario_main("breakeven", argc, argv);
 }

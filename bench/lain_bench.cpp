@@ -6,50 +6,30 @@
 //   lain_bench <subcommand> --help
 //
 // The subcommands, their axis flags and their usage text all come
-// from core::ScenarioRegistry::builtin() — this file only parses the
-// command line, sizes a LainContext (shared characterization cache +
-// process-wide thread budget) and emits what the scenario produced.
-// Unknown subcommands and flags a scenario does not accept fail with
-// the registry-derived usage and a nonzero exit.
+// from core::ScenarioRegistry::builtin(); the per-subcommand driver
+// (flag parsing, context sizing, output emission) is
+// core::run_scenario_cli, shared with the standalone bench shims so
+// flag handling cannot drift between the two.  Unknown subcommands
+// and flags a scenario does not accept fail with the registry-derived
+// usage and a nonzero exit.
 //
 // --threads parallelizes across sweep jobs; --sim-threads shards one
-// simulation across a thread-pool kernel (stats are bit-identical at
-// any value).  Both draw worker lanes from one budget, so
-// `--threads 8 --sim-threads 4` tops out at max(8, 4, cores) live
-// lanes instead of 32.  Axis flags take comma lists or
-// start:stop:step ranges:
+// simulation across a thread-pool kernel and --partition picks the
+// shard shape (stats are bit-identical at any value of either).  Axis
+// flags take comma lists or start:stop:step ranges:
 //   lain_bench injection_sweep --threads 8 --rates 0.05:0.45:0.05
 //       --patterns uniform,transpose,tornado --schemes all --replicates 3
-//   lain_bench injection_sweep --patterns hotspot --hotspot-fracs
-//       0.1:0.5:0.1 --burst-duties 0.25,0.5,1.0 --json --out sweep.json
+//   lain_bench mesh_scaling --radices 16,32 --partition rows,blocks2d
 
 #include <cstdio>
 #include <exception>
-#include <stdexcept>
 #include <string>
 
-#include "core/context.hpp"
 #include "core/scenario.hpp"
 
 using namespace lain::core;
 
 namespace {
-
-enum class Format { kText, kCsv, kJson };
-
-struct Output {
-  Format format = Format::kText;
-  std::string path;  // empty = stdout
-
-  void emit(const ReportTable& table) const {
-    switch (format) {
-      case Format::kText: write_output(path, table.to_text()); break;
-      case Format::kCsv: write_output(path, table.to_csv()); break;
-      case Format::kJson: write_output(path, table.to_json()); break;
-    }
-  }
-  bool text() const { return format == Format::kText; }
-};
 
 int run(int argc, char** argv) {
   const ScenarioRegistry& registry = ScenarioRegistry::builtin();
@@ -72,62 +52,7 @@ int run(int argc, char** argv) {
                  cmd.c_str(), registry.usage().c_str());
     return 2;
   }
-
-  ScenarioSpec spec;
-  Output out;
-  try {
-    const ArgParser args(argc - 2, argv + 2,
-                         registry.value_flags_for(*scenario),
-                         registry.switch_flags_for(*scenario));
-    if (args.has("help")) {
-      std::fputs(registry.usage_for(*scenario).c_str(), stdout);
-      return 0;
-    }
-    if (!args.positionals().empty()) {
-      throw std::invalid_argument("unexpected argument: " +
-                                  args.positionals().front() +
-                                  " (flags are spelled --flag)");
-    }
-    if (args.has("csv") && args.has("json")) {
-      throw std::invalid_argument("--csv and --json are mutually exclusive");
-    }
-    if (args.has("csv")) out.format = Format::kCsv;
-    if (args.has("json")) out.format = Format::kJson;
-    out.path = args.get("out", "");
-    if (scenario->text_only && !out.text()) {
-      throw std::invalid_argument(
-          scenario->name + " emits a preformatted text table; --csv/--json "
-          "are not supported here");
-    }
-    spec = build_scenario_spec(*scenario, args);
-    if (scenario->validate) scenario->validate(spec);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "lain_bench %s: %s\n\n%s", cmd.c_str(), e.what(),
-                 registry.usage_for(*scenario).c_str());
-    return 2;
-  }
-
-  ContextOptions copt;
-  copt.thread_budget = recommended_thread_budget(spec);
-  LainContext ctx(copt);
-  const SweepEngine engine = ctx.make_engine(spec.threads);
-
-  if (out.text() && scenario->banner) {
-    std::fputs(scenario->banner(spec, engine.threads()).c_str(), stdout);
-  }
-  const ScenarioRun result = scenario->run(ctx, spec, engine);
-  if (scenario->text_only) {
-    write_output(out.path, result.preformatted);
-  } else if (result.table.has_value()) {
-    out.emit(*result.table);
-  } else {
-    throw std::runtime_error("scenario '" + scenario->name +
-                             "' produced no table");
-  }
-  if (out.text() && out.path.empty() && result.extras) {
-    std::fputs(result.extras().c_str(), stdout);
-  }
-  return 0;
+  return run_scenario_cli(registry, *scenario, argc - 2, argv + 2);
 }
 
 }  // namespace

@@ -1,38 +1,9 @@
-// E11 (extension) — technology-node scaling: the paper's motivation
-// ("in the deep sub-micron era, interconnect wires and associated
-// driver circuits consume an increasing fraction of the energy
-// budget") quantified.  Thin wrapper over core::node_scaling /
-// core::node_scaling_savings, plus the node-count companion: the
-// sharded kernel timed on big-radix meshes, where the NoC-scale
-// idle-time statistics the leakage results hinge on become tractable.
+// E11 — technology-node scaling.  Shim over the registry's
+// node_scaling scenario: identical flags, defaults and output to
+// `lain_bench node_scaling` by construction.
 
-#include <cstdio>
+#include "core/scenario.hpp"
 
-#include "core/bench_suite.hpp"
-
-using namespace lain::core;
-
-int main() {
-  std::printf("E11: crossbar power across technology nodes (5x5, 128-bit, "
-              "3 GHz, p = 0.5, 110 C)\n\n");
-  const NodeScalingOptions opt;  // 90/65/45 nm x SC/DPC/SDPC
-  const SweepEngine engine(0);
-  std::printf("%s", node_scaling(opt, engine).to_text().c_str());
-
-  std::printf("\nScheme savings vs SC, by node (active leakage):\n");
-  NodeScalingOptions savings_opt;  // the savings matrix shows all five
-  const auto all = lain::xbar::all_schemes();
-  savings_opt.schemes.assign(all.begin(), all.end());
-  std::printf("%s", node_scaling_savings(savings_opt, engine).to_text().c_str());
-  std::printf("\nLeakage's share of crossbar power grows toward 45 nm, so "
-              "the absolute value of the\npaper's techniques grows with "
-              "scaling — the trend its introduction argues from.\n");
-
-  std::printf("\nNode-count scaling (sharded kernel, 16x16 mesh; 'match' "
-              "checks bit-identical stats):\n\n");
-  MeshScalingOptions mesh_opt;
-  mesh_opt.radices = {16};
-  mesh_opt.sim_threads = {1, 2, 4};
-  std::printf("%s", mesh_scaling(mesh_opt).to_text().c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return lain::core::scenario_main("node_scaling", argc, argv);
 }

@@ -10,12 +10,17 @@
 //   perf_micro --json --out bench/perf_baseline.json   # (re)record
 //   perf_micro --check bench/perf_baseline.json --tolerance 5
 //
-// --check re-runs the benchmarks and fails (exit 1) when any one is
-// slower than baseline * tolerance, or when the baseline names a
-// benchmark that no longer exists — that is the CTest perf gate.
-// Baselines are machine-specific: the tolerance absorbs normal jitter
-// and machine-to-machine drift while still catching order-of-
-// magnitude kernel slowdowns.
+// --check re-runs the benchmarks and fails (exit 1) when any one
+// regresses beyond tolerance, or when the baseline names a benchmark
+// that no longer exists — that is the CTest perf gate.  By default
+// the gate is RELATIVE: every benchmark is normalized by the anchor
+// benchmark (--anchor, default elmore_wire/64) before comparing, so
+// what is gated is each hot path's cost *ratio* to a stable kernel
+// (e.g. characterize/SC vs elmore) rather than machine-specific
+// ns/op.  Absolute baseline numbers recorded on one host therefore
+// gate correctly on any other — a uniformly faster or slower machine
+// cancels out of the ratio.  `--anchor none` restores the absolute
+// ns/op comparison.
 
 #include <chrono>
 #include <cstdio>
@@ -227,8 +232,11 @@ std::vector<Result> parse_baseline(const std::string& text) {
 
 // Loaded (and validated) before the measurement pass, so a bad path
 // or malformed file fails in milliseconds, not after the full run.
+// The anchor (when gating relatively) always survives the filter —
+// it is the denominator every gated benchmark needs.
 std::vector<Result> load_baseline(const std::string& baseline_path,
-                                  const std::string& filter) {
+                                  const std::string& filter,
+                                  const std::string& anchor) {
   std::ifstream in(baseline_path);
   if (!in) {
     throw std::runtime_error("cannot open baseline: " + baseline_path);
@@ -241,7 +249,9 @@ std::vector<Result> load_baseline(const std::string& baseline_path,
   if (!filter.empty()) {
     std::vector<Result> kept;
     for (const Result& r : baseline) {
-      if (r.name.find(filter) != std::string::npos) kept.push_back(r);
+      if (r.name == anchor || r.name.find(filter) != std::string::npos) {
+        kept.push_back(r);
+      }
     }
     baseline = std::move(kept);
     if (baseline.empty()) {
@@ -252,53 +262,73 @@ std::vector<Result> load_baseline(const std::string& baseline_path,
   return baseline;
 }
 
+const Result* find_result(const std::vector<Result>& results,
+                          const std::string& name) {
+  for (const Result& r : results)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
 int check_against_baseline(const std::vector<Result>& current,
                            const std::vector<Result>& baseline,
                            const std::string& baseline_path,
-                           double tolerance) {
-
-  auto find = [&](const std::string& name) -> const Result* {
-    for (const Result& r : current)
-      if (r.name == name) return &r;
-    return nullptr;
-  };
+                           double tolerance, const std::string& anchor) {
+  // Relative mode divides both sides by the anchor's ns/op, so the
+  // gated quantity is a machine-portable cost ratio; absolute mode
+  // (empty anchor) compares raw ns/op.
+  double base_anchor = 1.0, cur_anchor = 1.0;
+  if (!anchor.empty()) {
+    const Result* b = find_result(baseline, anchor);
+    const Result* c = find_result(current, anchor);
+    if (!b || b->ns_per_op <= 0.0) {
+      throw std::runtime_error("anchor missing from baseline: " + anchor);
+    }
+    if (!c || c->ns_per_op <= 0.0) {
+      throw std::runtime_error("anchor did not run: " + anchor);
+    }
+    base_anchor = b->ns_per_op;
+    cur_anchor = c->ns_per_op;
+  }
 
   core::ReportTable t;
   t.add_column("benchmark", 26, core::Align::kLeft)
-      .add_column("base ns/op", 12)
-      .add_column("now ns/op", 12)
-      .add_column("ratio", 8)
+      .add_column(anchor.empty() ? "base ns/op" : "base rel", 12)
+      .add_column(anchor.empty() ? "now ns/op" : "now rel", 12)
+      .add_column("drift", 8)
       .add_column("status", 8, core::Align::kLeft);
   int failures = 0;
   for (const Result& base : baseline) {
-    const Result* cur = find(base.name);
+    const Result* cur = find_result(current, base.name);
     if (!cur) {
-      t.begin_row().cell(base.name).cell(base.ns_per_op, 1).cell("-").cell(
-          "-").cell("GONE");
+      t.begin_row().cell(base.name).cell(base.ns_per_op / base_anchor, 3)
+          .cell("-").cell("-").cell("GONE");
       ++failures;
       continue;
     }
-    const double ratio =
-        base.ns_per_op > 0.0 ? cur->ns_per_op / base.ns_per_op : 0.0;
-    const bool slow = ratio > tolerance;
+    const double base_rel = base.ns_per_op / base_anchor;
+    const double cur_rel = cur->ns_per_op / cur_anchor;
+    const double drift = base_rel > 0.0 ? cur_rel / base_rel : 0.0;
+    const bool is_anchor = !anchor.empty() && base.name == anchor;
+    const bool slow = !is_anchor && drift > tolerance;
     if (slow) ++failures;
     t.begin_row()
         .cell(base.name)
-        .cell(base.ns_per_op, 1)
-        .cell(cur->ns_per_op, 1)
-        .cell(ratio, 2)
-        .cell(slow ? "SLOW" : "ok");
+        .cell(base_rel, 3)
+        .cell(cur_rel, 3)
+        .cell(drift, 2)
+        .cell(is_anchor ? "anchor" : (slow ? "SLOW" : "ok"));
   }
   for (const Result& cur : current) {
-    bool known = false;
-    for (const Result& base : baseline) known |= base.name == cur.name;
-    if (!known) {
-      t.begin_row().cell(cur.name).cell("-").cell(cur.ns_per_op, 1).cell(
-          "-").cell("(new)");
+    if (!find_result(baseline, cur.name)) {
+      t.begin_row().cell(cur.name).cell("-").cell(cur.ns_per_op / cur_anchor,
+                                                  3).cell("-").cell("(new)");
     }
   }
-  std::printf("perf gate vs %s (tolerance %.1fx):\n\n%s",
-              baseline_path.c_str(), tolerance, t.to_text().c_str());
+  const std::string mode =
+      anchor.empty() ? "absolute ns/op" : "relative to " + anchor;
+  std::printf("perf gate vs %s (%s, tolerance %.1fx):\n\n%s",
+              baseline_path.c_str(), mode.c_str(), tolerance,
+              t.to_text().c_str());
   if (failures) {
     std::printf("\n%d benchmark%s regressed beyond tolerance\n", failures,
                 failures == 1 ? "" : "s");
@@ -311,14 +341,15 @@ int usage(FILE* out) {
   std::fprintf(out,
                "usage: perf_micro [--json] [--out FILE] [--min-time-ms D]\n"
                "                  [--filter SUBSTR]\n"
-               "                  [--check BASELINE [--tolerance X]]\n");
+               "                  [--check BASELINE [--tolerance X]\n"
+               "                   [--anchor NAME|none]]\n");
   return out == stderr ? 2 : 0;
 }
 
 int run(int argc, char** argv) {
   const core::ArgParser args(
       argc - 1, argv + 1,
-      {"out", "min-time-ms", "check", "tolerance", "filter"},
+      {"out", "min-time-ms", "check", "tolerance", "filter", "anchor"},
       {"json", "help"});
   if (args.has("help")) return usage(stdout);
   if (!args.positionals().empty()) {
@@ -335,14 +366,23 @@ int run(int argc, char** argv) {
         "--check gates and reports to stdout; it cannot be combined with "
         "--json/--out (record a baseline in a separate run)");
   }
+  // The default gate is relative (ratio-to-anchor), so one checked-in
+  // baseline travels across hosts; "none" restores absolute ns/op.
+  std::string anchor = args.get("anchor", "elmore_wire/64");
+  if (anchor == "none") anchor.clear();
+  if (baseline_path.empty()) anchor.clear();  // only meaningful with --check
   std::vector<Result> baseline;
   if (!baseline_path.empty()) {
-    baseline = load_baseline(baseline_path, filter);
+    baseline = load_baseline(baseline_path, filter, anchor);
   }
 
   std::vector<Result> results;
   for (const Bench& b : make_benches()) {
-    if (!filter.empty() && b.name.find(filter) == std::string::npos) continue;
+    const bool is_anchor = !anchor.empty() && b.name == anchor;
+    if (!filter.empty() && !is_anchor &&
+        b.name.find(filter) == std::string::npos) {
+      continue;
+    }
     results.push_back(measure(b, min_time_s));
   }
   if (results.empty()) {
@@ -351,7 +391,7 @@ int run(int argc, char** argv) {
 
   if (!baseline_path.empty()) {
     return check_against_baseline(results, baseline, baseline_path,
-                                  args.get_double("tolerance", 5.0));
+                                  args.get_double("tolerance", 5.0), anchor);
   }
 
   if (args.has("json")) {

@@ -1,26 +1,9 @@
-// E7 — static-probability sweep (Table 1 footnote: "The power
-// consumptions are obtained by assuming 50% static probability which
-// is the worst case for power").  Thin wrapper over
-// core::static_probability: the precharged schemes' worst case sits
-// at low p (many discharges), and they win big when traffic is
-// 1-polarized — the conclusion's "systems which have major data
-// transfers within the same polarity".
+// E7 — static-probability sweep.  Shim over the registry's
+// static_probability scenario: identical flags, defaults and output
+// to `lain_bench static_probability` by construction.
 
-#include <cstdio>
+#include "core/scenario.hpp"
 
-#include "core/bench_suite.hpp"
-
-using namespace lain::core;
-
-int main() {
-  std::printf("E7: total power (mW) vs static probability p = P[bit = 1]\n\n");
-  StaticProbabilityOptions opt;  // p = 0.1 .. 0.9 by default
-  const auto all = lain::xbar::all_schemes();
-  opt.schemes.assign(all.begin(), all.end());
-  const SweepEngine engine(0);
-  std::printf("%s", static_probability(opt, engine).to_text().c_str());
-
-  std::printf("\nWorst-case check:\n");
-  std::printf("%s", static_probability_worst_case(engine).to_text().c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return lain::core::scenario_main("static_probability", argc, argv);
 }

@@ -23,12 +23,21 @@ int main() {
               scheme_name(scheme).data(), c.min_idle_cycles);
 
   // Record one router's crossbar demand trace from a real simulation.
+  // Observers are per-shard slices: only the shard owning the center
+  // router gets one, and it appends to its own trace inside the shard
+  // phase (on the serial engine that single shard is the whole mesh).
   noc::SimConfig cfg =
       core::default_mesh_config(0.12, noc::TrafficPattern::kUniform);
   noc::Simulation sim(cfg);
   std::vector<bool> demand;
-  sim.set_observer([&](noc::Cycle, noc::Network& net) {
-    demand.push_back(net.router(12).last_events().demand);  // center router
+  constexpr noc::NodeId kCenter = 12;
+  sim.set_observer([&demand](int, const noc::ShardPlan& shard)
+                       -> std::unique_ptr<noc::ObserverSlice> {
+    if (!shard.owns(kCenter)) return nullptr;
+    return noc::make_observer_slice(
+        [&demand](noc::Cycle, noc::Network& net, const noc::ShardPlan&) {
+          demand.push_back(net.router(kCenter).last_events().demand);
+        });
   });
   sim.run();
   std::printf("trace: %zu cycles from the center router, %.1f%% busy\n\n",

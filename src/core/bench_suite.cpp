@@ -62,6 +62,8 @@ ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
         spec.sim.burst_on_mean_cycles = opt.burst_on_mean_cycles;
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
+        spec.partition = opt.partition;
+        spec.pin_threads = opt.pin_threads;
         return ctx.run_noc(spec);
       });
 
@@ -119,7 +121,8 @@ ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
         cfg.hotspot_fraction = p.hotspot_fraction;
         cfg.burst_duty = p.burst_duty;
         cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
-        return ctx.idle_histogram(cfg, opt.sim_threads);
+        return ctx.idle_histogram(cfg, opt.sim_threads, opt.partition,
+                                  opt.pin_threads);
       });
 
   const bool show_hotspot = opt.hotspot_fracs.size() > 1;
@@ -188,6 +191,8 @@ ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
                                    opt.seed);
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
+        spec.partition = opt.partition;
+        spec.pin_threads = opt.pin_threads;
         return ctx.run_noc(spec);
       });
 
@@ -228,8 +233,10 @@ ReportTable mesh_scaling(const MeshScalingOptions& opt) {
   ReportTable t;
   t.add_column("radix", 6, Align::kLeft)
       .add_column("nodes", 7)
+      .add_column("partition", 10, Align::kLeft)
       .add_column("threads", 8)
       .add_column("shards", 7)
+      .add_column("boundary", 9)
       .add_column("cycles", 8)
       .add_column("wall ms", 9)
       .add_column("Mnode-cyc/s", 12)
@@ -244,41 +251,54 @@ ReportTable mesh_scaling(const MeshScalingOptions& opt) {
     cfg.warmup_cycles = opt.warmup_cycles;
     cfg.measure_cycles = opt.measure_cycles;
 
+    // The first (partition, threads) pair anchors speedup and the
+    // bit-identity check for the whole radix — every partition shape
+    // must reproduce its stats exactly.
+    bool have_base = false;
     double base_ms = 0.0;
     noc::SimStats base;
-    for (std::size_t k = 0; k < opt.sim_threads.size(); ++k) {
-      const int threads = opt.sim_threads[k];
-      noc::ShardedSimulation sim(cfg, threads);
-      const auto t0 = std::chrono::steady_clock::now();
-      const noc::SimStats st = sim.run();
-      const auto t1 = std::chrono::steady_clock::now();
-      const double ms =
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
-      const double cycles = static_cast<double>(sim.now());
-      const double mnode_cyc_s =
-          ms > 0.0 ? cycles * cfg.num_nodes() / (ms * 1e3) : 0.0;
+    for (noc::PartitionStrategy partition : opt.partitions) {
+      for (int threads : opt.sim_threads) {
+        noc::ShardedOptions sopt;
+        sopt.shards = threads;
+        sopt.partition = partition;
+        sopt.pin_threads = opt.pin_threads;
+        noc::ShardedSimulation sim(cfg, sopt);
+        const auto t0 = std::chrono::steady_clock::now();
+        const noc::SimStats st = sim.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double cycles = static_cast<double>(sim.now());
+        const double mnode_cyc_s =
+            ms > 0.0 ? cycles * cfg.num_nodes() / (ms * 1e3) : 0.0;
 
-      bool match = true;
-      if (k == 0) {
-        base_ms = ms;
-        base = st;
-      } else {
-        match = st.packets_injected == base.packets_injected &&
-                st.packets_ejected == base.packets_ejected &&
-                st.packet_latency.mean() == base.packet_latency.mean() &&
-                st.hops.mean() == base.hops.mean();
+        const bool is_base = !have_base;
+        bool match = true;
+        if (is_base) {
+          have_base = true;
+          base_ms = ms;
+          base = st;
+        } else {
+          match = st.packets_injected == base.packets_injected &&
+                  st.packets_ejected == base.packets_ejected &&
+                  st.packet_latency.mean() == base.packet_latency.mean() &&
+                  st.hops.mean() == base.hops.mean();
+        }
+        t.begin_row()
+            .cell(std::to_string(radix) + "x" + std::to_string(radix))
+            .cell(static_cast<std::int64_t>(cfg.num_nodes()))
+            .cell(noc::partition_name(sim.partition().strategy))
+            .cell(static_cast<std::int64_t>(threads))
+            .cell(static_cast<std::int64_t>(sim.num_shards()))
+            .cell(static_cast<std::int64_t>(sim.partition().boundary_links))
+            .cell(static_cast<std::int64_t>(sim.now()))
+            .cell(ms, 1)
+            .cell(mnode_cyc_s, 2)
+            .cell(is_base || ms <= 0.0 ? 1.0 : base_ms / ms, 2)
+            .cell(st.packet_latency.mean(), 2)
+            .cell(is_base ? "base" : (match ? "yes" : "NO"));
       }
-      t.begin_row()
-          .cell(std::to_string(radix) + "x" + std::to_string(radix))
-          .cell(static_cast<std::int64_t>(cfg.num_nodes()))
-          .cell(static_cast<std::int64_t>(threads))
-          .cell(static_cast<std::int64_t>(sim.num_shards()))
-          .cell(static_cast<std::int64_t>(sim.now()))
-          .cell(ms, 1)
-          .cell(mnode_cyc_s, 2)
-          .cell(k == 0 || ms <= 0.0 ? 1.0 : base_ms / ms, 2)
-          .cell(st.packet_latency.mean(), 2)
-          .cell(k == 0 ? "base" : (match ? "yes" : "NO"));
     }
   }
   return t;

@@ -20,6 +20,7 @@
 
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
+#include "noc/parallel/partition.hpp"
 #include "tech/itrs.hpp"
 
 namespace lain::core {
@@ -41,6 +42,8 @@ struct NocSweepOptions {
   std::vector<std::uint64_t> seeds{1};
   bool gating = true;
   int sim_threads = 1;  // per-run kernel threads (see NocRunSpec)
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
+  bool pin_threads = false;
 };
 // Columns: pattern scheme rate [hotspot] [duty] [seed] lat thr
 // xbar-mW stby% saved-mW.  Optional axis columns appear only with
@@ -59,6 +62,8 @@ struct IdleHistogramOptions {
   double burst_on_mean_cycles = 50.0;
   std::vector<std::uint64_t> seeds{1};
   int sim_threads = 1;
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
+  bool pin_threads = false;
 };
 // Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
 // gateable fraction >= 1/2/3.
@@ -77,6 +82,8 @@ struct MeshVsTorusOptions {
   std::uint64_t seed = 1;
   bool gating = true;
   int sim_threads = 1;
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
+  bool pin_threads = false;
 };
 // One row per (pattern, radix, rate): mesh and torus latency,
 // throughput and crossbar power side by side.  The torus has been
@@ -89,17 +96,25 @@ ReportTable mesh_vs_torus(const MeshVsTorusOptions& opt,
 // --- Sharded-kernel node-count scaling -------------------------------------
 struct MeshScalingOptions {
   std::vector<int> radices{8, 16};       // square mesh radix per row
+  // Partition strategies to compare; each is timed at every shard
+  // count.  The first (strategy, threads) pair per radix is the
+  // speedup/bit-identity baseline.
+  std::vector<noc::PartitionStrategy> partitions{
+      noc::PartitionStrategy::kRowBands, noc::PartitionStrategy::kBlocks2D};
   std::vector<int> sim_threads{1, 2, 4}; // shard counts to time
+  bool pin_threads = false;
   double injection_rate = 0.05;
   noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
   noc::Cycle warmup_cycles = 200;
   noc::Cycle measure_cycles = 1000;
   std::uint64_t seed = 1;
 };
-// Times one simulation per (radix, threads) on the calling thread
-// (sequentially, so wall-clock numbers are not polluted by sibling
-// jobs) and reports Mnode-cycles/s, speedup vs the 1-thread run and
-// whether the stats matched the 1-thread run bit-for-bit.
+// Times one simulation per (radix, partition, threads) on the calling
+// thread (sequentially, so wall-clock numbers are not polluted by
+// sibling jobs) and reports the plan's boundary-link count,
+// Mnode-cycles/s, speedup vs the first row of the radix and whether
+// the stats matched that row bit-for-bit (they must, for every
+// partition shape).
 ReportTable mesh_scaling(const MeshScalingOptions& opt);
 
 // --- E12: temperature / corner sensitivity ---------------------------------

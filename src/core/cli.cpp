@@ -173,4 +173,12 @@ std::vector<noc::TrafficPattern> parse_patterns(const std::string& csv) {
   return out;
 }
 
+std::vector<noc::PartitionStrategy> parse_partitions(const std::string& csv) {
+  std::vector<noc::PartitionStrategy> out;
+  for (const std::string& name : split_csv(csv))
+    out.push_back(noc::partition_from_name(name));
+  if (out.empty()) throw std::invalid_argument("empty partition list");
+  return out;
+}
+
 }  // namespace lain::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "noc/config.hpp"
+#include "noc/parallel/partition.hpp"
 #include "xbar/scheme.hpp"
 
 namespace lain::core {
@@ -54,6 +55,8 @@ std::vector<double> parse_range(const std::string& spec);
 // "all" expands to every scheme.
 std::vector<xbar::Scheme> parse_schemes(const std::string& csv);
 std::vector<noc::TrafficPattern> parse_patterns(const std::string& csv);
+// Partition strategies ("rows", "blocks2d", "auto"), comma-separated.
+std::vector<noc::PartitionStrategy> parse_partitions(const std::string& csv);
 
 xbar::Scheme scheme_from_name(const std::string& name);
 

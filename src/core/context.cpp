@@ -31,27 +31,21 @@ auto spec_tie(const xbar::CrossbarSpec& s) {
 }
 
 // Kernel the spec asks for: serial for sim_threads == 1, sharded
-// otherwise (auto-sharded when <= 0), with the sharded kernel's extra
-// worker lanes leased from the context's thread budget.
-struct KernelHandle {
-  std::unique_ptr<noc::SimKernel> kernel;
-  noc::Network* net = nullptr;
-};
-
-KernelHandle make_kernel(const noc::SimConfig& cfg, int sim_threads,
-                         ThreadBudget* budget) {
-  KernelHandle h;
-  if (sim_threads == 1) {
-    auto sim = std::make_unique<noc::Simulation>(cfg);
-    h.net = &sim->network();
-    h.kernel = std::move(sim);
-  } else {
-    auto sim =
-        std::make_unique<noc::ShardedSimulation>(cfg, sim_threads, budget);
-    h.net = &sim->network();
-    h.kernel = std::move(sim);
-  }
-  return h;
+// otherwise (auto-sharded when <= 0, partitioned by `partition`),
+// with the sharded kernel's extra worker lanes leased from the
+// context's thread budget.
+std::unique_ptr<noc::SimKernel> make_kernel(const noc::SimConfig& cfg,
+                                            int sim_threads,
+                                            noc::PartitionStrategy partition,
+                                            bool pin_threads,
+                                            ThreadBudget* budget) {
+  if (sim_threads == 1) return std::make_unique<noc::Simulation>(cfg);
+  noc::ShardedOptions opt;
+  opt.shards = sim_threads;
+  opt.partition = partition;
+  opt.pin_threads = pin_threads;
+  opt.budget = budget;
+  return std::make_unique<noc::ShardedSimulation>(cfg, opt);
 }
 
 }  // namespace
@@ -108,12 +102,14 @@ LainContext& LainContext::global() {
 }
 
 NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
-  KernelHandle h = make_kernel(spec.sim, spec.sim_threads, &budget_);
+  std::unique_ptr<noc::SimKernel> kernel = make_kernel(
+      spec.sim, spec.sim_threads, spec.partition, spec.pin_threads, &budget_);
+  noc::Network& net = kernel->network();
   const NocPowerConfig pcfg =
       default_noc_power(spec.scheme, spec.enable_gating);
-  PoweredNoc powered(*h.net, pcfg,
+  PoweredNoc powered(net, pcfg,
                      characterization(pcfg.xbar_spec, pcfg.scheme));
-  const noc::SimStats stats = h.kernel->run();
+  const noc::SimStats stats = kernel->run();
 
   NocRunResult r;
   r.scheme = spec.scheme;
@@ -128,22 +124,26 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
       cycles ? static_cast<double>(powered.standby_cycles()) / cycles : 0.0;
   const double seconds =
       cycles ? static_cast<double>(cycles) /
-                   static_cast<double>(h.net->num_nodes()) /
+                   static_cast<double>(net.num_nodes()) /
                    powered.config().xbar_spec.freq_hz
              : 0.0;
   r.realized_saving_w =
       seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
-  r.saturated = h.kernel->saturated();
+  r.saturated = kernel->saturated();
   return r;
 }
 
 noc::Histogram LainContext::idle_histogram(const noc::SimConfig& cfg,
-                                           int sim_threads) {
-  KernelHandle h = make_kernel(cfg, sim_threads, &budget_);
-  h.kernel->run();
+                                           int sim_threads,
+                                           noc::PartitionStrategy partition,
+                                           bool pin_threads) {
+  std::unique_ptr<noc::SimKernel> kernel =
+      make_kernel(cfg, sim_threads, partition, pin_threads, &budget_);
+  kernel->run();
+  noc::Network& net = kernel->network();
   noc::Histogram merged;
-  for (noc::NodeId n = 0; n < h.net->num_nodes(); ++n) {
-    merged.merge(h.net->router(n).activity().idle_runs());
+  for (noc::NodeId n = 0; n < net.num_nodes(); ++n) {
+    merged.merge(net.router(n).activity().idle_runs());
   }
   return merged;
 }

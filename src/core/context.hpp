@@ -112,9 +112,11 @@ class LainContext {
   NocRunResult run_noc(const NocRunSpec& spec);
 
   // Merged idle-run histogram of every router crossbar (E9), on the
-  // budgeted kernel.
-  noc::Histogram idle_histogram(const noc::SimConfig& cfg,
-                                int sim_threads = 1);
+  // budgeted kernel.  Bit-identical for any thread count / partition.
+  noc::Histogram idle_histogram(
+      const noc::SimConfig& cfg, int sim_threads = 1,
+      noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto,
+      bool pin_threads = false);
 
  private:
   CharacterizationCache cache_;

@@ -9,6 +9,7 @@
 
 #include "core/noc_integration.hpp"
 #include "core/table1.hpp"
+#include "noc/parallel/partition.hpp"
 
 namespace lain::core {
 
@@ -46,13 +47,18 @@ struct NocRunResult {
 // traffic-diversity knobs) plus the power scheme and the simulation
 // kernel to use.  sim_threads == 1 runs the serial kernel; > 1 runs
 // the sharded parallel kernel with that many shards; <= 0 lets the
-// kernel auto-shard by radix.  The stats — and therefore every
-// simulation-derived column — are bit-identical across all of them.
+// kernel auto-shard by radix.  `partition` picks the shard shape
+// (rows / blocks2d / auto) and `pin_threads` pins the shard workers
+// to cores.  The stats — and therefore every simulation-derived
+// column — are bit-identical across all of them: threads, partition
+// and pinning change wall clock only.
 struct NocRunSpec {
   xbar::Scheme scheme = xbar::Scheme::kSC;
   noc::SimConfig sim;
   bool enable_gating = true;
   int sim_threads = 1;
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
+  bool pin_threads = false;
 };
 
 // Deprecated shim: forwards through LainContext::global().run_noc(),

@@ -30,6 +30,11 @@ const FlagHelp kFlagHelp[] = {
     {"sim-threads",
      "shards per simulation (1 = serial kernel, 0 = auto-shard\n"
      "                      by radix; stats bit-identical)"},
+    {"partition",
+     "shard partition shape: rows|blocks2d|auto (stats are\n"
+     "                      partition-invariant; mesh_scaling takes a list)"},
+    {"pin-threads",
+     "pin shard worker threads to cores (Linux; no-op elsewhere)"},
     {"csv", "emit CSV instead of the text table"},
     {"json", "emit a JSON row array"},
     {"out", "write the table to FILE instead of stdout"},
@@ -55,6 +60,7 @@ struct FlagDefault {
 };
 const FlagDefault kFlagDefaults[] = {
     {"threads", "1"},       {"sim-threads", "1"},
+    {"partition", "auto"},
     {"schemes", "all"},     {"patterns", "uniform"},
     {"rates", "0.05,0.15,0.30"},
     {"hotspot-fracs", "0.2"},
@@ -137,6 +143,8 @@ NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
   opt.seeds = s.seeds;
   opt.gating = s.gating;
   opt.sim_threads = s.sim_threads;
+  opt.partition = s.partition;
+  opt.pin_threads = s.pin_threads;
   return opt;
 }
 
@@ -147,10 +155,11 @@ ScenarioRegistry make_builtin_registry() {
     Scenario sc;
     sc.name = "injection_sweep";
     sc.summary = "powered-NoC latency/power sweep (E8)";
-    sc.value_flags = {"sim-threads",  "schemes",       "patterns",
-                      "rates",        "hotspot-fracs", "burst-duties",
-                      "burst-on-mean", "seed",         "replicates"};
-    sc.switch_flags = {"no-gating"};
+    sc.value_flags = {"sim-threads",  "partition",     "schemes",
+                      "patterns",     "rates",         "hotspot-fracs",
+                      "burst-duties", "burst-on-mean", "seed",
+                      "replicates"};
+    sc.switch_flags = {"no-gating", "pin-threads"};
     sc.defaults = {{"patterns", "uniform,transpose"}};
     sc.banner = [](const ScenarioSpec&, int threads) {
       return thread_banner(
@@ -171,9 +180,10 @@ ScenarioRegistry make_builtin_registry() {
     Scenario sc;
     sc.name = "idle_histogram";
     sc.summary = "crossbar idle-run distribution (E9)";
-    sc.value_flags = {"sim-threads",  "patterns",      "rates",
-                      "hotspot-fracs", "burst-duties", "burst-on-mean",
-                      "seed",         "replicates"};
+    sc.value_flags = {"sim-threads",   "partition",    "patterns",
+                      "rates",         "hotspot-fracs", "burst-duties",
+                      "burst-on-mean", "seed",         "replicates"};
+    sc.switch_flags = {"pin-threads"};
     sc.banner = [](const ScenarioSpec&, int threads) {
       return thread_banner(
           "E9: crossbar idle-run distribution, 5x5 mesh", threads);
@@ -188,6 +198,8 @@ ScenarioRegistry make_builtin_registry() {
       opt.burst_on_mean_cycles = s.burst_on_mean_cycles;
       opt.seeds = s.seeds;
       opt.sim_threads = s.sim_threads;
+      opt.partition = s.partition;
+      opt.pin_threads = s.pin_threads;
       ScenarioRun r;
       r.table = idle_histogram(ctx, opt, engine);
       return r;
@@ -252,9 +264,9 @@ ScenarioRegistry make_builtin_registry() {
     Scenario sc;
     sc.name = "mesh_vs_torus";
     sc.summary = "mesh vs torus topology comparison";
-    sc.value_flags = {"sim-threads", "radices", "rates", "patterns",
-                      "schemes",     "seed"};
-    sc.switch_flags = {"no-gating"};
+    sc.value_flags = {"sim-threads", "partition", "radices", "rates",
+                      "patterns",    "schemes",   "seed"};
+    sc.switch_flags = {"no-gating", "pin-threads"};
     sc.defaults = {{"schemes", "sdpc"}, {"patterns", "uniform,tornado"}};
     sc.validate = [](const ScenarioSpec& s) {
       if (s.schemes.size() != 1) {
@@ -279,6 +291,8 @@ ScenarioRegistry make_builtin_registry() {
       opt.seed = s.seed;
       opt.gating = s.gating;
       opt.sim_threads = s.sim_threads;
+      opt.partition = s.partition;
+      opt.pin_threads = s.pin_threads;
       ScenarioRun r;
       r.table = mesh_vs_torus(ctx, opt, engine);
       return r;
@@ -290,24 +304,31 @@ ScenarioRegistry make_builtin_registry() {
     Scenario sc;
     sc.name = "mesh_scaling";
     sc.summary = "sharded-kernel node-count scaling";
-    sc.value_flags = {"sim-threads", "radices", "rates", "patterns", "seed"};
+    sc.value_flags = {"sim-threads", "partition", "radices", "rates",
+                      "patterns",    "seed"};
+    sc.switch_flags = {"pin-threads"};
     sc.defaults = {{"radices", "8,16"},
                    {"sim-threads", "1,2,4"},
+                   {"partition", "rows,blocks2d"},
                    {"rates", "0.05"},
                    {"patterns", "uniform"}};
     sc.sim_threads_as_list = true;
+    sc.partition_as_list = true;
     sc.banner = [](const ScenarioSpec&, int) {
       return std::string(
           "Sharded-kernel scaling: one simulation timed per "
-          "(radix, shard count); 'match' pins bit-identical "
-          "stats vs the first row\n\n");
+          "(radix, partition, shard count); 'boundary' is the "
+          "plan's cross-shard link count and 'match' pins "
+          "bit-identical stats vs the first row\n\n");
     };
     sc.run = [](LainContext&, const ScenarioSpec& s, const SweepEngine&) {
       // Timed sequentially on the calling thread, outside the thread
       // budget on purpose: wall-clock fidelity beats cooperation here.
       MeshScalingOptions opt;
       opt.radices = s.radices;
+      opt.partitions = s.partition_list;
       opt.sim_threads = s.sim_thread_list;
+      opt.pin_threads = s.pin_threads;
       opt.injection_rate = s.rates.front();
       opt.pattern = s.patterns.front();
       opt.seed = s.seed;
@@ -512,6 +533,21 @@ ScenarioSpec build_scenario_spec(const Scenario& sc, const ArgParser& args) {
       s.sim_threads = single_int(sc, args, "sim-threads");
     }
   }
+  if (accepts("partition")) {
+    const std::vector<noc::PartitionStrategy> parsed = parse_flag(
+        "partition", flag_value(sc, args, "partition"), parse_partitions);
+    if (sc.partition_as_list) {
+      s.partition_list = parsed;
+    } else {
+      if (parsed.size() != 1) {
+        throw std::invalid_argument(
+            "--partition takes a single strategy here: " +
+            flag_value(sc, args, "partition"));
+      }
+      s.partition = parsed.front();
+    }
+  }
+  if (accepts("pin-threads")) s.pin_threads = args.has("pin-threads");
   auto range_axis = [&](const char* flag) {
     return parse_flag(flag, flag_value(sc, args, flag), parse_range);
   };
@@ -564,6 +600,99 @@ int recommended_thread_budget(const ScenarioSpec& spec) {
   budget = std::max(budget, spec.threads);
   budget = std::max(budget, spec.sim_threads);
   return budget;
+}
+
+namespace {
+
+enum class OutputFormat { kText, kCsv, kJson };
+
+}  // namespace
+
+int run_scenario_cli(const ScenarioRegistry& registry,
+                     const Scenario& scenario, int argc,
+                     const char* const* argv) {
+  ScenarioSpec spec;
+  OutputFormat fmt = OutputFormat::kText;
+  std::string out_path;
+  try {
+    const ArgParser args(argc, argv, registry.value_flags_for(scenario),
+                         registry.switch_flags_for(scenario));
+    if (args.has("help")) {
+      std::fputs(registry.usage_for(scenario).c_str(), stdout);
+      return 0;
+    }
+    if (!args.positionals().empty()) {
+      throw std::invalid_argument("unexpected argument: " +
+                                  args.positionals().front() +
+                                  " (flags are spelled --flag)");
+    }
+    if (args.has("csv") && args.has("json")) {
+      throw std::invalid_argument("--csv and --json are mutually exclusive");
+    }
+    if (args.has("csv")) fmt = OutputFormat::kCsv;
+    if (args.has("json")) fmt = OutputFormat::kJson;
+    out_path = args.get("out", "");
+    if (scenario.text_only && fmt != OutputFormat::kText) {
+      throw std::invalid_argument(
+          scenario.name + " emits a preformatted text table; --csv/--json "
+          "are not supported here");
+    }
+    spec = build_scenario_spec(scenario, args);
+    if (scenario.validate) scenario.validate(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lain_bench %s: %s\n\n%s", scenario.name.c_str(),
+                 e.what(), registry.usage_for(scenario).c_str());
+    return 2;
+  }
+
+  ContextOptions copt;
+  copt.thread_budget = recommended_thread_budget(spec);
+  LainContext ctx(copt);
+  const SweepEngine engine = ctx.make_engine(spec.threads);
+
+  const bool text = fmt == OutputFormat::kText;
+  if (text && scenario.banner) {
+    std::fputs(scenario.banner(spec, engine.threads()).c_str(), stdout);
+  }
+  const ScenarioRun result = scenario.run(ctx, spec, engine);
+  if (scenario.text_only) {
+    write_output(out_path, result.preformatted);
+  } else if (result.table.has_value()) {
+    switch (fmt) {
+      case OutputFormat::kText:
+        write_output(out_path, result.table->to_text());
+        break;
+      case OutputFormat::kCsv:
+        write_output(out_path, result.table->to_csv());
+        break;
+      case OutputFormat::kJson:
+        write_output(out_path, result.table->to_json());
+        break;
+    }
+  } else {
+    throw std::runtime_error("scenario '" + scenario.name +
+                             "' produced no table");
+  }
+  if (text && out_path.empty() && result.extras) {
+    std::fputs(result.extras().c_str(), stdout);
+  }
+  return 0;
+}
+
+int scenario_main(const std::string& name, int argc,
+                  const char* const* argv) {
+  try {
+    const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+    const Scenario* scenario = registry.find(name);
+    if (!scenario) {
+      std::fprintf(stderr, "unknown scenario: %s\n", name.c_str());
+      return 2;
+    }
+    return run_scenario_cli(registry, *scenario, argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
+    return 1;
+  }
 }
 
 }  // namespace lain::core

@@ -38,6 +38,12 @@ struct ScenarioSpec {
   int threads = 1;       // sweep worker lanes (0 = all cores)
   int sim_threads = 1;   // shards per simulation (0 = auto, 1 = serial)
   std::vector<int> sim_thread_list{1, 2, 4};  // mesh_scaling's axis
+  // Shard partition shape (stats are partition-invariant).
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
+  std::vector<noc::PartitionStrategy> partition_list{
+      noc::PartitionStrategy::kRowBands,
+      noc::PartitionStrategy::kBlocks2D};  // mesh_scaling's axis
+  bool pin_threads = false;  // pin shard workers to cores (Linux)
 
   std::vector<xbar::Scheme> schemes;
   std::vector<noc::TrafficPattern> patterns;
@@ -81,6 +87,7 @@ struct Scenario {
   // defaults (see flag_default()).
   std::map<std::string, std::string> defaults;
   bool sim_threads_as_list = false;  // mesh_scaling: --sim-threads is an axis
+  bool partition_as_list = false;    // mesh_scaling: --partition is an axis
   bool text_only = false;            // table1: no --csv/--json
 
   // Optional spec validation (throws std::invalid_argument).
@@ -131,5 +138,22 @@ ScenarioSpec build_scenario_spec(const Scenario& scenario,
 // never less than any explicitly requested parallelism level — each
 // level can be satisfied alone; it is their product that gets capped.
 int recommended_thread_budget(const ScenarioSpec& spec);
+
+// Parses `scenario`'s flags (argc/argv starting at the first flag),
+// sizes a LainContext, runs the scenario and emits its output — the
+// whole CLI driver behind one lain_bench subcommand.  Returns the
+// process exit code (2 on flag errors, with usage on stderr).  Both
+// lain_bench and the standalone bench shims go through here, so flag
+// handling cannot drift between them.
+int run_scenario_cli(const ScenarioRegistry& registry,
+                     const Scenario& scenario, int argc,
+                     const char* const* argv);
+
+// Entry point for a standalone bench main that mirrors one registry
+// scenario: `int main(int argc, char** argv) { return
+// scenario_main("breakeven", argc, argv); }`.  Catches everything and
+// maps errors to nonzero exits like lain_bench does.
+int scenario_main(const std::string& name, int argc,
+                  const char* const* argv);
 
 }  // namespace lain::core

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <exception>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "core/thread_budget.hpp"
 
 namespace lain::core {
@@ -30,6 +34,22 @@ void ThreadPool::post(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::pin_worker(int worker, int cpu) {
+  if (worker < 0 || worker >= size() || cpu < 0) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu >= CPU_SETSIZE) return false;
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(
+             workers_[static_cast<std::size_t>(worker)].native_handle(),
+             sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
 }
 
 void ThreadPool::worker_loop() {

@@ -38,6 +38,13 @@ class ThreadPool {
   // tasks still queued.
   void post(std::function<void()> task);
 
+  // Pins worker `worker` to cpu `cpu` (Linux: pthread_setaffinity_np
+  // on the worker's native handle).  Returns false — and changes
+  // nothing — on out-of-range arguments, on platforms without
+  // affinity support, or when the kernel rejects the cpu id, so
+  // callers can treat pinning as strictly best-effort.
+  bool pin_worker(int worker, int cpu);
+
   // Runs fn(i) for every i in [0, n) across the pool and blocks until
   // all jobs finished.  Jobs are claimed from an atomic counter, so
   // completion order is scheduling-dependent but each index runs

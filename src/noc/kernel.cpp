@@ -2,23 +2,72 @@
 
 namespace lain::noc {
 
-SimKernel::SimKernel(const SimConfig& cfg) : cfg_(cfg) {
-  cfg.validate();
+namespace {
+
+class FunctionSlice final : public ObserverSlice {
+ public:
+  explicit FunctionSlice(std::function<void(Cycle, Network&, const ShardPlan&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_cycle(Cycle now, Network& net, const ShardPlan& shard) override {
+    fn_(now, net, shard);
+  }
+
+ private:
+  std::function<void(Cycle, Network&, const ShardPlan&)> fn_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObserverSlice> make_observer_slice(
+    std::function<void(Cycle, Network&, const ShardPlan&)> fn) {
+  return std::make_unique<FunctionSlice>(std::move(fn));
+}
+
+SimKernel::SimKernel(const SimConfig& cfg)
+    : cfg_(cfg), net_(cfg), gen_(cfg) {
   measure_start_ = cfg.warmup_cycles;
   measure_end_ = cfg.warmup_cycles + cfg.measure_cycles;
   packet_seq_.assign(static_cast<size_t>(cfg.num_nodes()), 0);
 }
 
-void SimKernel::step_shard_components(Network& net, TrafficGenerator& gen,
-                                      Shard& sh) {
+void SimKernel::init_partition(PartitionStrategy strategy, int num_shards) {
+  plan_ = make_partition(net_, strategy, num_shards);
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(plan_.num_shards()));
+  if (observer_factory_) make_observer_slices();
+}
+
+void SimKernel::set_observer(ObserverFactory factory) {
+  observer_factory_ = std::move(factory);
+  make_observer_slices();
+}
+
+void SimKernel::make_observer_slices() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].observer =
+        observer_factory_
+            ? observer_factory_(static_cast<int>(s), plan_.shards[s])
+            : nullptr;
+  }
+}
+
+void SimKernel::for_each_observer(
+    const std::function<void(int, ObserverSlice&)>& fn) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].observer) fn(static_cast<int>(s), *shards_[s].observer);
+  }
+}
+
+void SimKernel::step_shard_components(std::size_t shard_index) {
+  const ShardPlan& sp = plan_.shards[shard_index];
+  Shard& sh = shards_[shard_index];
   if (injecting_) {
     const bool in_window = now_ >= measure_start_ && now_ < measure_end_;
-    for (NodeId n = sh.node_begin; n < sh.node_end; ++n) {
-      const NodeId dst = gen.maybe_generate(n);
+    for (NodeId n : sp.nodes) {
+      const NodeId dst = gen_.maybe_generate(n);
       if (dst == kInvalidNode) continue;
       const PacketId id = (static_cast<PacketId>(n) << 32) |
                           packet_seq_[static_cast<size_t>(n)]++;
-      net.nic(n).source_packet(dst, now_, id);
+      net_.nic(n).source_packet(dst, now_, id);
       if (in_window) {
         ++sh.stats.packets_injected;
         sh.stats.flits_injected += cfg_.packet_length_flits;
@@ -26,13 +75,13 @@ void SimKernel::step_shard_components(Network& net, TrafficGenerator& gen,
       }
     }
   }
-  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) net.nic(n).tick(now_);
-  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) net.router(n).tick();
+  for (NodeId n : sp.nodes) net_.nic(n).tick(now_);
+  for (NodeId n : sp.nodes) net_.router(n).tick();
   // Collect completions at this shard's NICs.  The packet may have
   // been injected by another shard; the counters still sum correctly
   // because every event lands in exactly one shard.
-  for (NodeId n = sh.node_begin; n < sh.node_end; ++n) {
-    for (const Nic::Ejection& e : net.nic(n).completions()) {
+  for (NodeId n : sp.nodes) {
+    for (const Nic::Ejection& e : net_.nic(n).completions()) {
       const bool tracked =
           e.created >= measure_start_ && e.created < measure_end_;
       if (!tracked) continue;
@@ -45,10 +94,28 @@ void SimKernel::step_shard_components(Network& net, TrafficGenerator& gen,
       sh.stats.latency_hist.add(e.ejected - e.created);
     }
   }
+  // The observer slice sees the shard post-tick, pre-exchange — the
+  // same point in the cycle the old global hook observed, but scoped
+  // to this shard and running inside its (parallel) phase.
+  if (sh.observer) sh.observer->on_cycle(now_, net_, sp);
 }
 
-void SimKernel::step_shard_channels(Network& net, const Shard& sh) {
-  for (int li : sh.links) net.tick_link(li);
+void SimKernel::step_shard_channels(std::size_t shard_index) {
+  for (int li : plan_.shards[shard_index].links) net_.tick_link(li);
+}
+
+std::int64_t SimKernel::tracked_pending() const {
+  std::int64_t pending = 0;
+  for (const Shard& sh : shards_) pending += sh.tracked_pending;
+  return pending;
+}
+
+SimStats SimKernel::collect_stats() {
+  SimStats st;
+  for (const Shard& sh : shards_) st.merge(sh.stats);
+  st.num_nodes = cfg_.num_nodes();
+  st.measured_cycles = cfg_.measure_cycles;
+  return st;
 }
 
 SimStats SimKernel::run() {

@@ -1,15 +1,17 @@
 // kernel.hpp — the shared simulation phase driver.
 //
-// SimKernel owns the logic every NoC engine needs but none should
-// duplicate: the warmup / measurement / drain phase machine, the
-// measurement window bookkeeping, per-node packet numbering and the
-// per-cycle observer hook.  Engines implement step() — the serial
-// Simulation steps the whole fabric inline, ShardedSimulation steps
-// per-thread tile shards under a two-phase barrier — and both express
-// a cycle through the same two helpers:
+// SimKernel owns everything every NoC engine needs but none should
+// duplicate: the fabric (Network + TrafficGenerator), the partition
+// plan and per-shard measurement state, the warmup / measurement /
+// drain phase machine, per-node packet numbering and the per-shard
+// observer slices.  Engines implement step() — the serial Simulation
+// steps its single shard inline, ShardedSimulation steps per-thread
+// tile shards under a two-phase barrier — and both express a cycle
+// through the same two helpers:
 //
 //   step_shard_components()  traffic + NIC/router ticks + completion
-//                            collection for one shard's node range,
+//                            collection + observer slice for one
+//                            shard's tile set,
 //   step_shard_channels()    the exchange phase: advance the shard's
 //                            channels, making this cycle's sends
 //                            visible next cycle.
@@ -19,30 +21,57 @@
 // component phase commutes with every other's; the barrier between
 // the two phases is the only ordering the fabric needs.  Together
 // with per-node RNG streams and exactly-mergeable SimStats, that is
-// what makes the sharded engine bit-identical to the serial one.
+// what makes the sharded engine bit-identical to the serial one — at
+// any shard count and for any partition shape.
 
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "noc/parallel/partition.hpp"
 #include "noc/topology.hpp"
 #include "noc/traffic.hpp"
 
 namespace lain::noc {
 
-// One engine thread's slice of the fabric: a contiguous node range,
-// the links it advances in the exchange phase, and its private
-// measurement state (merged exactly at the end of the run).
+// One shard's per-cycle observer.  The kernel calls on_cycle() at the
+// end of that shard's component phase every cycle — concurrently with
+// other shards' slices, on whichever thread steps the shard — so a
+// slice must touch only state reachable from its shard's nodes plus
+// its own members.  Each shard owns its slice exclusively; fold the
+// slices into an aggregate after the run with for_each_observer()
+// (the merge step, on the calling thread).
+class ObserverSlice {
+ public:
+  virtual ~ObserverSlice() = default;
+  virtual void on_cycle(Cycle now, Network& net, const ShardPlan& shard) = 0;
+};
+
+// Creates the slice for one shard (may return nullptr for shards the
+// observer does not care about).  Invoked once per shard, on the
+// calling thread, when the observer is set.
+using ObserverFactory =
+    std::function<std::unique_ptr<ObserverSlice>(int shard_index,
+                                                 const ShardPlan& shard)>;
+
+// Functional adapter: wraps a per-cycle callable into a slice.  The
+// callable is bound by the same contract as ObserverSlice::on_cycle.
+std::unique_ptr<ObserverSlice> make_observer_slice(
+    std::function<void(Cycle, Network&, const ShardPlan&)> fn);
+
+// One shard's runtime state: its private measurement slice (merged
+// exactly at the end of the run) and its observer slice.  The static
+// side — tile set and exchange-phase links — lives in the kernel's
+// PartitionPlan.
 struct Shard {
-  NodeId node_begin = 0;
-  NodeId node_end = 0;    // exclusive
-  std::vector<int> links;
   SimStats stats;
   // Packets created in the window minus packets ejected here.  May go
   // negative for one shard (ejection side); the sum over shards is
   // the fabric-wide in-flight tracked count.
   std::int64_t tracked_pending = 0;
+  std::unique_ptr<ObserverSlice> observer;
 };
 
 class SimKernel {
@@ -61,38 +90,61 @@ class SimKernel {
 
   bool saturated() const { return saturated_; }
 
-  // Optional per-cycle observer (used by power integration).  Runs on
-  // the driving thread after every component has ticked and before
-  // the channels advance, in every engine.
-  using Observer = std::function<void(Cycle, Network&)>;
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+
+  const PartitionPlan& partition() const { return plan_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Installs a per-shard observer (nullptr factory clears it).  The
+  // factory runs once per shard immediately; slices then run inside
+  // the shard phases — in parallel on the sharded engine, with no
+  // driver-thread serial section.
+  void set_observer(ObserverFactory factory);
+  // The merge step: visits every live slice on the calling thread
+  // (shard index, slice).  Call after run()/between steps, never
+  // while a step is in flight.
+  void for_each_observer(
+      const std::function<void(int, ObserverSlice&)>& fn) const;
 
  protected:
   explicit SimKernel(const SimConfig& cfg);
 
-  // Component phase for one shard: generate traffic, tick NICs and
-  // routers, collect completions.  Touches only the shard's nodes and
-  // node-local generator state; safe to run concurrently with other
-  // shards' component phases.
-  void step_shard_components(Network& net, TrafficGenerator& gen, Shard& sh);
-  // Exchange phase for one shard: advance its owned channels.
-  static void step_shard_channels(Network& net, const Shard& sh);
+  // Builds the partition plan and per-shard state.  Every engine
+  // constructor must call this exactly once before the first step.
+  void init_partition(PartitionStrategy strategy, int num_shards);
 
-  // Engine-provided: fabric-wide tracked packet count and the merged
-  // measured stats (called once, after the run loop ends).
-  virtual std::int64_t tracked_pending() const = 0;
-  virtual SimStats collect_stats() = 0;
+  // Component phase for one shard: generate traffic, tick NICs and
+  // routers, collect completions, run the shard's observer slice.
+  // Touches only the shard's nodes and node-local generator state;
+  // safe to run concurrently with other shards' component phases.
+  void step_shard_components(std::size_t shard_index);
+  // Exchange phase for one shard: advance its owned channels.
+  void step_shard_channels(std::size_t shard_index);
+
+  // Fabric-wide tracked packet count and the merged measured stats
+  // (called once, after the run loop ends).
+  std::int64_t tracked_pending() const;
+  SimStats collect_stats();
 
   SimConfig cfg_;
+  Network net_;
+  TrafficGenerator gen_;
+  PartitionPlan plan_;
+  std::vector<Shard> shards_;
   Cycle now_ = 0;
   bool injecting_ = true;
   bool saturated_ = false;
   Cycle measure_start_ = 0;
   Cycle measure_end_ = 0;
-  Observer observer_;
   // Per-node packet sequence numbers; packet n<<32|seq is unique and
   // independent of the shard layout.
   std::vector<PacketId> packet_seq_;
+
+ private:
+  void make_observer_slices();
+
+  ObserverFactory observer_factory_;
 };
 
 }  // namespace lain::noc

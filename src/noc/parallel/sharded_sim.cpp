@@ -11,35 +11,26 @@ int ShardedSimulation::auto_shards(const SimConfig& cfg, int requested) {
   return std::max(1, std::min(core::hardware_lanes(), cfg.radix_y));
 }
 
-ShardedSimulation::ShardedSimulation(const SimConfig& cfg, int num_shards,
-                                     core::ThreadBudget* budget)
-    : SimKernel(cfg), net_(cfg), gen_(cfg) {
-  int shards = auto_shards(cfg, num_shards);
-  if (budget && shards > 1) {
-    lease_ = budget->acquire(shards - 1, /*min_grant=*/0);
+ShardedSimulation::ShardedSimulation(const SimConfig& cfg,
+                                     const ShardedOptions& opt)
+    : SimKernel(cfg), pin_threads_(opt.pin_threads) {
+  int shards = auto_shards(cfg, opt.shards);
+  if (opt.budget && shards > 1) {
+    lease_ = opt.budget->acquire(shards - 1, /*min_grant=*/0);
     shards = lease_.count() + 1;
   }
-  const int nodes = cfg.num_nodes();
-  shards_.resize(static_cast<size_t>(shards));
-  for (int s = 0; s < shards; ++s) {
-    Shard& sh = shards_[static_cast<size_t>(s)];
-    sh.node_begin = static_cast<NodeId>(
-        (static_cast<std::int64_t>(nodes) * s) / shards);
-    sh.node_end = static_cast<NodeId>(
-        (static_cast<std::int64_t>(nodes) * (s + 1)) / shards);
-  }
-  // Each link is exchanged by the shard owning its consuming node.
-  for (int li = 0; li < net_.num_links(); ++li) {
-    const NodeId owner = net_.link_owner(li);
-    for (Shard& sh : shards_) {
-      if (owner >= sh.node_begin && owner < sh.node_end) {
-        sh.links.push_back(li);
-        break;
-      }
-    }
-  }
+  init_partition(opt.partition, shards);
   errors_.assign(shards_.size(), nullptr);
 }
+
+ShardedSimulation::ShardedSimulation(const SimConfig& cfg, int num_shards,
+                                     core::ThreadBudget* budget)
+    : ShardedSimulation(cfg, [&] {
+        ShardedOptions opt;
+        opt.shards = num_shards;
+        opt.budget = budget;
+        return opt;
+      }()) {}
 
 ShardedSimulation::~ShardedSimulation() { stop_workers(); }
 
@@ -48,9 +39,18 @@ void ShardedSimulation::start_workers() {
   const int participants = num_shards();  // driver + S-1 workers
   start_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   exchange_barrier_ = std::make_unique<core::SpinBarrier>(participants);
-  observe_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   done_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   pool_ = std::make_unique<core::ThreadPool>(num_shards() - 1);
+  if (pin_threads_) {
+    // Worker w steps shard w+1 and gets cpu w+1; lane 0 is left to
+    // the (unpinned) driver.  Pin only when every worker fits on its
+    // own lane: two spin-barrier workers forced to share a core would
+    // serialize through scheduler quanta, far worse than no pinning.
+    // Individual pin failures are ignored (the flag is advisory).
+    if (pool_->size() < core::hardware_lanes()) {
+      for (int w = 0; w < pool_->size(); ++w) pool_->pin_worker(w, w + 1);
+    }
+  }
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     pool_->post([this, s] { worker_loop(s); });
   }
@@ -69,11 +69,10 @@ void ShardedSimulation::stop_workers() {
 void ShardedSimulation::run_phase(std::size_t shard_index, bool components) {
   if (errors_[shard_index]) return;  // poisoned shard: keep in lockstep only
   try {
-    Shard& sh = shards_[shard_index];
     if (components) {
-      step_shard_components(net_, gen_, sh);
+      step_shard_components(shard_index);
     } else {
-      step_shard_channels(net_, sh);
+      step_shard_channels(shard_index);
     }
   } catch (...) {
     errors_[shard_index] = std::current_exception();
@@ -86,8 +85,6 @@ void ShardedSimulation::worker_loop(std::size_t shard_index) {
     if (stop_requested_) return;
     run_phase(shard_index, /*components=*/true);
     exchange_barrier_->arrive_and_wait();
-    // The driver runs the observer between these barriers.
-    if (observe_this_cycle_) observe_barrier_->arrive_and_wait();
     run_phase(shard_index, /*components=*/false);
     done_barrier_->arrive_and_wait();
   }
@@ -101,48 +98,21 @@ void ShardedSimulation::rethrow_any_error() {
 
 void ShardedSimulation::step() {
   if (shards_.size() == 1) {
-    step_shard_components(net_, gen_, shards_[0]);
-    if (observer_) observer_(now_, net_);
-    step_shard_channels(net_, shards_[0]);
+    step_shard_components(0);
+    step_shard_channels(0);
     ++now_;
     return;
   }
 
   start_workers();
-  observe_this_cycle_ = static_cast<bool>(observer_);
-  std::exception_ptr observer_error;
-
   start_barrier_->arrive_and_wait();
   run_phase(0, /*components=*/true);
   exchange_barrier_->arrive_and_wait();
-  if (observe_this_cycle_) {
-    try {
-      observer_(now_, net_);
-    } catch (...) {
-      observer_error = std::current_exception();
-    }
-    observe_barrier_->arrive_and_wait();
-  }
   run_phase(0, /*components=*/false);
   done_barrier_->arrive_and_wait();
 
   ++now_;
-  if (observer_error) std::rethrow_exception(observer_error);
   rethrow_any_error();
-}
-
-std::int64_t ShardedSimulation::tracked_pending() const {
-  std::int64_t pending = 0;
-  for (const Shard& sh : shards_) pending += sh.tracked_pending;
-  return pending;
-}
-
-SimStats ShardedSimulation::collect_stats() {
-  SimStats st;
-  for (const Shard& sh : shards_) st.merge(sh.stats);
-  st.num_nodes = cfg_.num_nodes();
-  st.measured_cycles = cfg_.measure_cycles;
-  return st;
 }
 
 }  // namespace lain::noc

@@ -1,15 +1,16 @@
 // sharded_sim.hpp — the parallel simulation engine.
 //
 // ShardedSimulation partitions the mesh/torus into per-thread tile
-// shards (contiguous node ranges, i.e. row bands of the row-major
-// fabric) and steps every shard through the same cycle under a
-// two-phase barrier:
+// shards — row bands or 2D blocks, see noc/parallel/partition.hpp —
+// and steps every shard through the same cycle under a two-phase
+// barrier:
 //
-//   phase 1 (components)  each shard generates traffic for its nodes
-//                         and ticks its NICs and routers.  Channel
-//                         sends only write producer-side staging
-//                         slots, so shards never race — even on links
-//                         that cross a shard boundary.
+//   phase 1 (components)  each shard generates traffic for its tiles,
+//                         ticks its NICs and routers and runs its
+//                         observer slice.  Channel sends only write
+//                         producer-side staging slots, so shards
+//                         never race — even on links that cross a
+//                         shard boundary.
 //   barrier
 //   phase 2 (exchange)    each shard advances the links whose
 //                         consumer it owns, publishing this cycle's
@@ -22,7 +23,7 @@
 // between cycles, so a multi-million-cycle run pays the thread spawn
 // cost once).  Traffic uses the per-node RNG streams and SimStats
 // merges exactly, so the result is bit-identical to the serial
-// Simulation — and to itself at any shard count.
+// Simulation — and to itself at any shard count and partition shape.
 
 #pragma once
 
@@ -35,28 +36,30 @@
 
 namespace lain::noc {
 
+struct ShardedOptions {
+  // <= 0 picks auto_shards(cfg, 0); always clamped to the node count.
+  int shards = 0;
+  PartitionStrategy partition = PartitionStrategy::kRowBands;
+  // Pin each worker thread to a core (round-robin over the hardware
+  // lanes, the driver's lane excluded).  Linux only; a silent no-op
+  // where unsupported.  Wall-clock only — never affects stats.
+  bool pin_threads = false;
+  // With a budget the simulation leases its extra worker lanes
+  // (shards - 1; the driver lane belongs to the caller) for its
+  // lifetime — nested under a budget-aware sweep it degrades toward
+  // serial instead of oversubscribing.
+  core::ThreadBudget* budget = nullptr;
+};
+
 class ShardedSimulation final : public SimKernel {
  public:
-  // num_shards <= 0 picks auto_shards(cfg, 0).  The shard count is
-  // clamped to the node count; one shard degenerates to the serial
-  // inline step (no workers, no barriers).
-  //
-  // With a ThreadBudget the simulation leases its extra worker lanes
-  // (shards - 1; the driver lane belongs to the caller) for its
-  // lifetime and runs with 1 + granted shards — so nested under a
-  // budget-aware sweep it degrades toward serial instead of
-  // oversubscribing.  Stats are bit-identical at any shard count, so
-  // the degradation changes wall clock only.
-  ShardedSimulation(const SimConfig& cfg, int num_shards,
-                    core::ThreadBudget* budget = nullptr);
+  ShardedSimulation(const SimConfig& cfg, const ShardedOptions& opt);
+  // Row-bands convenience, bit-compatible with the original engine.
+  explicit ShardedSimulation(const SimConfig& cfg, int num_shards = 0,
+                             core::ThreadBudget* budget = nullptr);
   ~ShardedSimulation() override;
 
   void step() override;
-
-  Network& network() { return net_; }
-  const Network& network() const { return net_; }
-
-  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   // Shard-count policy.  requested > 0 is honoured (clamped to the
   // node count).  requested <= 0 is automatic: 1 for fabrics under 64
@@ -65,10 +68,6 @@ class ShardedSimulation final : public SimKernel {
   // one full row band.
   static int auto_shards(const SimConfig& cfg, int requested);
 
- protected:
-  std::int64_t tracked_pending() const override;
-  SimStats collect_stats() override;
-
  private:
   void start_workers();
   void stop_workers();
@@ -76,22 +75,18 @@ class ShardedSimulation final : public SimKernel {
   void run_phase(std::size_t shard_index, bool components);
   void rethrow_any_error();
 
-  Network net_;
-  TrafficGenerator gen_;
-  std::vector<Shard> shards_;
+  bool pin_threads_ = false;
   core::ThreadBudget::Lease lease_;  // extra worker lanes (may be empty)
 
   // Worker machinery (only engaged with more than one shard).
   std::unique_ptr<core::ThreadPool> pool_;
   std::unique_ptr<core::SpinBarrier> start_barrier_;
   std::unique_ptr<core::SpinBarrier> exchange_barrier_;
-  std::unique_ptr<core::SpinBarrier> observe_barrier_;
   std::unique_ptr<core::SpinBarrier> done_barrier_;
   bool workers_running_ = false;
   // Control word for the coming cycle; written by the driver before
   // the start barrier, read by workers after it.
   bool stop_requested_ = false;
-  bool observe_this_cycle_ = false;
   std::vector<std::exception_ptr> errors_;  // per shard
 };
 

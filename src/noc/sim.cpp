@@ -2,26 +2,14 @@
 
 namespace lain::noc {
 
-Simulation::Simulation(const SimConfig& cfg)
-    : SimKernel(cfg), net_(cfg), gen_(cfg) {
-  shard_.node_begin = 0;
-  shard_.node_end = cfg.num_nodes();
-  shard_.links.resize(static_cast<size_t>(net_.num_links()));
-  for (int i = 0; i < net_.num_links(); ++i) shard_.links[static_cast<size_t>(i)] = i;
+Simulation::Simulation(const SimConfig& cfg) : SimKernel(cfg) {
+  init_partition(PartitionStrategy::kRowBands, 1);
 }
 
 void Simulation::step() {
-  step_shard_components(net_, gen_, shard_);
-  if (observer_) observer_(now_, net_);
-  step_shard_channels(net_, shard_);
+  step_shard_components(0);
+  step_shard_channels(0);
   ++now_;
-}
-
-SimStats Simulation::collect_stats() {
-  SimStats st = shard_.stats;
-  st.num_nodes = cfg_.num_nodes();
-  st.measured_cycles = cfg_.measure_cycles;
-  return st;
 }
 
 }  // namespace lain::noc

@@ -1,10 +1,11 @@
 // sim.hpp — the serial simulation engine.
 //
 // One shard covering the whole fabric, stepped inline on the calling
-// thread.  The phase machine (warmup / measurement / drain) and the
-// per-cycle component/exchange logic live in SimKernel, shared with
-// the sharded parallel engine (noc/parallel/sharded_sim.hpp) — for
-// any SimConfig+seed the two produce bit-identical SimStats.
+// thread.  The phase machine (warmup / measurement / drain), the
+// partition plan and the per-cycle component/exchange logic live in
+// SimKernel, shared with the sharded parallel engine
+// (noc/parallel/sharded_sim.hpp) — for any SimConfig+seed the two
+// produce bit-identical SimStats.
 
 #pragma once
 
@@ -18,20 +19,6 @@ class Simulation final : public SimKernel {
 
   // Single-cycle stepping for tests and integrations.
   void step() override;
-
-  Network& network() { return net_; }
-  const Network& network() const { return net_; }
-
- protected:
-  std::int64_t tracked_pending() const override {
-    return shard_.tracked_pending;
-  }
-  SimStats collect_stats() override;
-
- private:
-  Network net_;
-  TrafficGenerator gen_;
-  Shard shard_;  // the whole fabric
 };
 
 }  // namespace lain::noc

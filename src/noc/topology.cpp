@@ -14,8 +14,9 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg) {
   wire_mesh();
 }
 
-Network::Link* Network::make_link(int latency, NodeId owner) {
+Network::Link* Network::make_link(int latency, NodeId source, NodeId owner) {
   links_.push_back(std::make_unique<Link>(latency));
+  link_sources_.push_back(source);
   link_owners_.push_back(owner);
   return links_.back().get();
 }
@@ -24,10 +25,11 @@ void Network::wire_mesh() {
   const RouteContext ctx = cfg_.route_context();
   const bool torus = cfg_.topology == TopologyKind::kTorus;
 
-  // Local port: NIC <-> router, latency 1.
+  // Local port: NIC <-> router, latency 1.  Both endpoints are the
+  // same node, so these links never cross a shard boundary.
   for (NodeId i = 0; i < cfg_.num_nodes(); ++i) {
-    Link* inj = make_link(1, i);  // NIC -> router (flits), router -> NIC credits
-    Link* ej = make_link(1, i);   // router -> NIC (flits), NIC -> router credits
+    Link* inj = make_link(1, i, i);  // NIC -> router (flits), router -> NIC credits
+    Link* ej = make_link(1, i, i);   // router -> NIC (flits), NIC -> router credits
     routers_[static_cast<size_t>(i)]->connect_input(Dir::kLocal, &inj->flits,
                                                     &inj->credits);
     routers_[static_cast<size_t>(i)]->connect_output(Dir::kLocal, &ej->flits,
@@ -38,7 +40,7 @@ void Network::wire_mesh() {
 
   // Inter-router links: one directed link per (router, direction).
   auto connect_pair = [&](NodeId from, Dir out_dir, NodeId to) {
-    Link* l = make_link(cfg_.link_latency, to);
+    Link* l = make_link(cfg_.link_latency, from, to);
     routers_[static_cast<size_t>(from)]->connect_output(out_dir, &l->flits,
                                                         &l->credits);
     routers_[static_cast<size_t>(to)]->connect_input(opposite(out_dir),

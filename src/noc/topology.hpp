@@ -42,6 +42,13 @@ class Network {
   NodeId link_owner(int i) const {
     return link_owners_.at(static_cast<size_t>(i));
   }
+  // The node whose router/NIC produces this link's flits.  A link is
+  // a shard-boundary link when its source and owner land in different
+  // shards — the quantity the partition planner minimizes.  NIC
+  // injection/ejection links have source == owner (never boundary).
+  NodeId link_source(int i) const {
+    return link_sources_.at(static_cast<size_t>(i));
+  }
 
   // Flits resident anywhere in the fabric (buffers + channels).
   int flits_in_flight() const;
@@ -59,9 +66,10 @@ class Network {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::vector<NodeId> link_owners_;  // consuming endpoint per link
+  std::vector<NodeId> link_owners_;   // consuming endpoint per link
+  std::vector<NodeId> link_sources_;  // producing endpoint per link
 
-  Link* make_link(int latency, NodeId owner);
+  Link* make_link(int latency, NodeId source, NodeId owner);
   void wire_mesh();
 };
 

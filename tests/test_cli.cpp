@@ -104,6 +104,16 @@ TEST(ParsePatterns, MatchesTrafficNames) {
   EXPECT_THROW(core::parse_patterns("nope"), std::invalid_argument);
 }
 
+TEST(ParsePartitions, MatchesStrategyNames) {
+  const auto p = core::parse_partitions("rows,blocks2d,auto");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], noc::PartitionStrategy::kRowBands);
+  EXPECT_EQ(p[1], noc::PartitionStrategy::kBlocks2D);
+  EXPECT_EQ(p[2], noc::PartitionStrategy::kAuto);
+  EXPECT_THROW(core::parse_partitions("diagonal"), std::invalid_argument);
+  EXPECT_THROW(core::parse_partitions(""), std::invalid_argument);
+}
+
 TEST(ParseIntList, ParsesCommaListAndRejectsJunk) {
   const auto v = core::parse_int_list("8,16,32");
   ASSERT_EQ(v.size(), 3u);

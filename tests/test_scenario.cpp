@@ -127,6 +127,40 @@ TEST(ScenarioSpec, MeshScalingTakesSimThreadList) {
       std::invalid_argument);
 }
 
+TEST(ScenarioSpec, PartitionFlagParsesAndDefaultsToAuto) {
+  const ScenarioRegistry& reg = ScenarioRegistry::builtin();
+  const Scenario& sweep = *reg.find("injection_sweep");
+  // Global default.
+  EXPECT_EQ(build_scenario_spec(sweep, parse(sweep, {})).partition,
+            noc::PartitionStrategy::kAuto);
+  // Explicit single value.
+  const ScenarioSpec spec = build_scenario_spec(
+      sweep, parse(sweep, {"--partition", "blocks2d", "--pin-threads"}));
+  EXPECT_EQ(spec.partition, noc::PartitionStrategy::kBlocks2D);
+  EXPECT_TRUE(spec.pin_threads);
+  // Lists are rejected where --partition is a single strategy...
+  EXPECT_THROW(build_scenario_spec(
+                   sweep, parse(sweep, {"--partition", "rows,blocks2d"})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      build_scenario_spec(sweep, parse(sweep, {"--partition", "diagonal"})),
+      std::invalid_argument);
+
+  // ...but mesh_scaling takes them as an axis (default rows,blocks2d).
+  const Scenario& scaling = *reg.find("mesh_scaling");
+  ASSERT_TRUE(scaling.partition_as_list);
+  const std::vector<noc::PartitionStrategy> both{
+      noc::PartitionStrategy::kRowBands, noc::PartitionStrategy::kBlocks2D};
+  EXPECT_EQ(build_scenario_spec(scaling, parse(scaling, {})).partition_list,
+            both);
+  const std::vector<noc::PartitionStrategy> one{
+      noc::PartitionStrategy::kBlocks2D};
+  EXPECT_EQ(build_scenario_spec(
+                scaling, parse(scaling, {"--partition", "blocks2d"}))
+                .partition_list,
+            one);
+}
+
 TEST(ScenarioSpec, MeshVsTorusValidatesSingleScheme) {
   const ScenarioRegistry& reg = ScenarioRegistry::builtin();
   const Scenario& sc = *reg.find("mesh_vs_torus");

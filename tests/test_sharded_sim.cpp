@@ -1,7 +1,8 @@
 // test_sharded_sim.cpp — the sharded parallel kernel's determinism
 // contract: for any SimConfig+seed, ShardedSimulation produces
 // SimStats bit-identical to the serial Simulation at every shard
-// count.  These comparisons use exact equality on doubles on purpose.
+// count and for every partition shape.  These comparisons use exact
+// equality on doubles on purpose.
 
 #include "noc/parallel/sharded_sim.hpp"
 
@@ -9,6 +10,7 @@
 
 #include <thread>
 
+#include "core/context.hpp"
 #include "core/experiments.hpp"
 #include "noc/sim.hpp"
 
@@ -51,26 +53,44 @@ void expect_bit_identical(const SimStats& a, const SimStats& b) {
   EXPECT_TRUE(a.latency_hist.bins() == b.latency_hist.bins());
 }
 
-// The acceptance pin: serial vs 1, 2 and 4 shards, all identical.
-TEST(ShardedSim, BitIdenticalToSerialAt124Shards) {
+ShardedOptions opts(int shards, PartitionStrategy partition) {
+  ShardedOptions o;
+  o.shards = shards;
+  o.partition = partition;
+  return o;
+}
+
+// The acceptance pin: serial vs 1/2/4/8 shards, row bands and 2D
+// blocks, all identical.
+TEST(ShardedSim, BitIdenticalToSerialAt1248ShardsBothPartitions) {
   Simulation serial(mesh8(0.10));
   const SimStats reference = serial.run();
   EXPECT_FALSE(serial.saturated());
-  for (int shards : {1, 2, 4}) {
-    ShardedSimulation sim(mesh8(0.10), shards);
-    EXPECT_EQ(sim.num_shards(), shards);
-    const SimStats st = sim.run();
-    EXPECT_FALSE(sim.saturated()) << shards << " shards";
-    expect_bit_identical(reference, st);
+  for (PartitionStrategy partition :
+       {PartitionStrategy::kRowBands, PartitionStrategy::kBlocks2D}) {
+    for (int shards : {1, 2, 4, 8}) {
+      ShardedSimulation sim(mesh8(0.10), opts(shards, partition));
+      EXPECT_EQ(sim.num_shards(), shards);
+      const SimStats st = sim.run();
+      EXPECT_FALSE(sim.saturated())
+          << shards << " shards, " << partition_name(partition);
+      expect_bit_identical(reference, st);
+    }
   }
 }
 
-TEST(ShardedSim, BitIdenticalOnTorusWithTornado) {
+TEST(ShardedSim, BitIdenticalOnTorusWithTornadoBothPartitions) {
   SimConfig cfg = mesh8(0.15, TrafficPattern::kTornado);
   cfg.topology = TopologyKind::kTorus;
   const SimStats reference = Simulation(cfg).run();
-  ShardedSimulation sim(cfg, 3);  // uneven 64/3 split exercises ranges
-  expect_bit_identical(reference, sim.run());
+  {
+    ShardedSimulation sim(cfg, 3);  // uneven 64/3 split exercises ranges
+    expect_bit_identical(reference, sim.run());
+  }
+  for (int shards : {2, 4, 8}) {
+    ShardedSimulation sim(cfg, opts(shards, PartitionStrategy::kBlocks2D));
+    expect_bit_identical(reference, sim.run());
+  }
 }
 
 TEST(ShardedSim, BitIdenticalWithBurstyHotspotTraffic) {
@@ -82,8 +102,12 @@ TEST(ShardedSim, BitIdenticalWithBurstyHotspotTraffic) {
   cfg.hotspot_fraction = 0.3;
   cfg.hotspot_node = 27;
   const SimStats reference = Simulation(cfg).run();
-  ShardedSimulation sim(cfg, 4);
-  expect_bit_identical(reference, sim.run());
+  for (PartitionStrategy partition :
+       {PartitionStrategy::kRowBands, PartitionStrategy::kBlocks2D,
+        PartitionStrategy::kAuto}) {
+    ShardedSimulation sim(cfg, opts(4, partition));
+    expect_bit_identical(reference, sim.run());
+  }
 }
 
 TEST(ShardedSim, SaturationDecisionMatchesSerial) {
@@ -92,7 +116,7 @@ TEST(ShardedSim, SaturationDecisionMatchesSerial) {
   cfg.drain_limit_cycles = 300;
   Simulation serial(cfg);
   const SimStats a = serial.run();
-  ShardedSimulation sharded(cfg, 4);
+  ShardedSimulation sharded(cfg, opts(4, PartitionStrategy::kBlocks2D));
   const SimStats b = sharded.run();
   EXPECT_TRUE(serial.saturated());
   EXPECT_TRUE(sharded.saturated());
@@ -100,21 +124,65 @@ TEST(ShardedSim, SaturationDecisionMatchesSerial) {
   expect_bit_identical(a, b);
 }
 
-TEST(ShardedSim, ObserverSeesEveryCycleOnDrivingThread) {
+// Observer slices run inside the shard phases: every shard's slice
+// sees every cycle, the tile sets partition the fabric, and worker
+// shards observe on worker threads — there is no driver-thread serial
+// section any more.
+TEST(ShardedSim, ObserverSlicesRunInsideShardPhases) {
   SimConfig cfg = mesh8(0.05);
   cfg.warmup_cycles = 10;
   cfg.measure_cycles = 50;
-  ShardedSimulation sim(cfg, 2);
-  const std::thread::id driver = std::this_thread::get_id();
-  Cycle observed = 0;
-  bool on_driver = true;
-  sim.set_observer([&](Cycle, Network&) {
-    ++observed;
-    if (std::this_thread::get_id() != driver) on_driver = false;
+  ShardedSimulation sim(cfg, opts(4, PartitionStrategy::kBlocks2D));
+
+  struct CountSlice final : ObserverSlice {
+    Cycle cycles = 0;
+    std::int64_t node_visits = 0;
+    std::thread::id thread;
+    void on_cycle(Cycle, Network&, const ShardPlan& shard) override {
+      ++cycles;
+      node_visits += static_cast<std::int64_t>(shard.nodes.size());
+      thread = std::this_thread::get_id();
+    }
+  };
+  sim.set_observer([](int, const ShardPlan&) {
+    return std::make_unique<CountSlice>();
   });
   sim.run();
-  EXPECT_EQ(observed, sim.now());
-  EXPECT_TRUE(on_driver);
+
+  // The merge step: fold the slices on the calling thread.
+  const std::thread::id driver = std::this_thread::get_id();
+  std::int64_t visits = 0;
+  int slices = 0;
+  int off_driver = 0;
+  sim.for_each_observer([&](int shard, ObserverSlice& slice) {
+    const auto& c = static_cast<const CountSlice&>(slice);
+    EXPECT_EQ(c.cycles, sim.now()) << "shard " << shard;
+    visits += c.node_visits;
+    ++slices;
+    if (c.thread != driver) ++off_driver;
+  });
+  EXPECT_EQ(slices, 4);
+  EXPECT_EQ(visits, static_cast<std::int64_t>(cfg.num_nodes()) * sim.now());
+  // Shard 0 runs on the driver; shards 1..3 must have observed on
+  // their own worker threads.
+  EXPECT_EQ(off_driver, 3);
+}
+
+TEST(ShardedSim, ObserverFactoryMayDeclineShards) {
+  SimConfig cfg = mesh8(0.05);
+  cfg.warmup_cycles = 10;
+  cfg.measure_cycles = 40;
+  ShardedSimulation sim(cfg, opts(4, PartitionStrategy::kRowBands));
+  constexpr NodeId kTarget = 27;
+  Cycle observed = 0;
+  sim.set_observer(
+      [&](int, const ShardPlan& shard) -> std::unique_ptr<ObserverSlice> {
+        if (!shard.owns(kTarget)) return nullptr;
+        return make_observer_slice(
+            [&observed](Cycle, Network&, const ShardPlan&) { ++observed; });
+      });
+  sim.run();
+  EXPECT_EQ(observed, sim.now());  // exactly one shard owns the target
 }
 
 TEST(ShardedSim, AutoShardsPolicy) {
@@ -135,7 +203,7 @@ TEST(ShardedSim, AutoShardsPolicy) {
   EXPECT_LE(auto_shards, 16);
 }
 
-TEST(ShardedSim, PoweredRunMatchesSerialBitForBit) {
+TEST(ShardedSim, PoweredRunMatchesSerialBitForBitBothPartitions) {
   // The whole powered pipeline — gating stalls included — is
   // per-router state, so even power numbers must agree exactly.
   core::NocRunSpec spec;
@@ -143,24 +211,43 @@ TEST(ShardedSim, PoweredRunMatchesSerialBitForBit) {
   spec.sim = core::default_mesh_config(0.1, TrafficPattern::kUniform, 3);
   spec.sim_threads = 1;
   const core::NocRunResult serial = core::run_powered_noc(spec);
-  spec.sim_threads = 4;
-  const core::NocRunResult sharded = core::run_powered_noc(spec);
-  EXPECT_EQ(serial.avg_packet_latency_cycles,
-            sharded.avg_packet_latency_cycles);
-  EXPECT_EQ(serial.throughput_flits_node_cycle,
-            sharded.throughput_flits_node_cycle);
-  EXPECT_EQ(serial.crossbar_power_w, sharded.crossbar_power_w);
-  EXPECT_EQ(serial.standby_fraction, sharded.standby_fraction);
-  EXPECT_EQ(serial.realized_saving_w, sharded.realized_saving_w);
+  for (PartitionStrategy partition :
+       {PartitionStrategy::kRowBands, PartitionStrategy::kBlocks2D}) {
+    spec.sim_threads = 4;
+    spec.partition = partition;
+    const core::NocRunResult sharded = core::run_powered_noc(spec);
+    EXPECT_EQ(serial.avg_packet_latency_cycles,
+              sharded.avg_packet_latency_cycles);
+    EXPECT_EQ(serial.throughput_flits_node_cycle,
+              sharded.throughput_flits_node_cycle);
+    EXPECT_EQ(serial.crossbar_power_w, sharded.crossbar_power_w);
+    EXPECT_EQ(serial.standby_fraction, sharded.standby_fraction);
+    EXPECT_EQ(serial.realized_saving_w, sharded.realized_saving_w);
+  }
 }
 
-TEST(ShardedSim, IdleHistogramMatchesSerial) {
+TEST(ShardedSim, IdleHistogramMatchesSerialBothPartitions) {
   const SimConfig cfg = core::default_mesh_config(
       0.05, TrafficPattern::kUniform, 11);
   const Histogram a = core::idle_run_histogram(cfg, 1);
-  const Histogram b = core::idle_run_histogram(cfg, 5);
-  EXPECT_EQ(a.count(), b.count());
-  EXPECT_TRUE(a.bins() == b.bins());
+  for (PartitionStrategy partition :
+       {PartitionStrategy::kRowBands, PartitionStrategy::kBlocks2D}) {
+    const Histogram b =
+        core::LainContext::global().idle_histogram(cfg, 5, partition);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_TRUE(a.bins() == b.bins());
+  }
+}
+
+TEST(ShardedSim, PinThreadsIsWallClockOnly) {
+  // Pinning is best-effort and must never change results — including
+  // on machines where the affinity call fails or is unsupported.
+  SimConfig cfg = mesh8(0.10);
+  const SimStats reference = Simulation(cfg).run();
+  ShardedOptions o = opts(4, PartitionStrategy::kBlocks2D);
+  o.pin_threads = true;
+  ShardedSimulation sim(cfg, o);
+  expect_bit_identical(reference, sim.run());
 }
 
 TEST(ShardedSim, StepApiAndReuseAcrossCycles) {
@@ -168,7 +255,7 @@ TEST(ShardedSim, StepApiAndReuseAcrossCycles) {
   // cycle counter and fabric stay consistent with the serial engine.
   SimConfig cfg = mesh8(0.2);
   Simulation serial(cfg);
-  ShardedSimulation sharded(cfg, 4);
+  ShardedSimulation sharded(cfg, opts(4, PartitionStrategy::kBlocks2D));
   for (int i = 0; i < 50; ++i) {
     serial.step();
     sharded.step();

@@ -116,10 +116,21 @@ TEST(Sim, ObserverSeesEveryCycle) {
   cfg.warmup_cycles = 10;
   cfg.measure_cycles = 50;
   Simulation sim(cfg);
+  // The serial engine is one whole-fabric shard, so the factory runs
+  // once and the single slice sees every cycle.
   Cycle observed = 0;
-  sim.set_observer([&](Cycle, Network&) { ++observed; });
+  int slices = 0;
+  sim.set_observer([&](int, const ShardPlan& shard) {
+    ++slices;
+    EXPECT_EQ(shard.nodes.size(),
+              static_cast<std::size_t>(cfg.num_nodes()));
+    return make_observer_slice(
+        [&observed](Cycle, Network&, const ShardPlan&) { ++observed; });
+  });
   sim.run();
+  EXPECT_EQ(slices, 1);
   EXPECT_GE(observed, 60);
+  EXPECT_EQ(observed, sim.now());
 }
 
 }  // namespace
