@@ -156,13 +156,58 @@ std::vector<Bench> make_benches() {
         {"matrix_arbiter/" + std::to_string(ports),
          [ports](std::int64_t n) {
            noc::MatrixArbiter arb(ports);
-           std::vector<bool> req(static_cast<std::size_t>(ports), true);
+           // The flat hot-path entry point, as the router drives it.
+           std::vector<std::uint8_t> req(static_cast<std::size_t>(ports), 1);
            for (std::int64_t i = 0; i < n; ++i) {
-             const int g = arb.arbitrate(req);
+             const int g = arb.arbitrate(req.data());
              keep(g);
            }
          }});
   }
+
+  // The two extremes of the router's per-cycle cost.  router_tick_idle
+  // is one quiescent router stepped through the kernel's dispatch (the
+  // O(1) predicate + bookkeeping path).  router_tick_loaded is one
+  // cycle of a 3x3 mesh held at saturation — 9 routers running the
+  // full zero-allocation RC/VA/SA/ST pipeline plus NIC and channel
+  // advance, so ns/op is ~9 loaded router ticks.
+  benches.push_back({"router_tick_idle", [](std::int64_t n) {
+    noc::SimConfig cfg;  // 5x5 mesh defaults, no traffic
+    noc::Network net(cfg);
+    noc::Router& r = net.router(12);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (r.quiescent()) {
+        r.tick_idle();
+      } else {
+        r.tick();
+      }
+    }
+    keep(r.activity());
+  }});
+
+  benches.push_back({"router_tick_loaded", [](std::int64_t n) {
+    noc::SimConfig cfg;
+    cfg.radix_x = 3;
+    cfg.radix_y = 3;
+    noc::Network net(cfg);
+    std::int64_t id = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (noc::NodeId node = 0; node < net.num_nodes(); ++node) {
+        noc::Nic& nic = net.nic(node);
+        // Keep every source queue non-empty so the fabric stays at
+        // injection-limited saturation.
+        if (nic.source_queue_flits() < cfg.packet_length_flits) {
+          nic.source_packet((node + 4) % 9, i, ++id);
+        }
+        nic.tick(i);
+      }
+      for (noc::NodeId node = 0; node < net.num_nodes(); ++node) {
+        net.router(node).tick();
+      }
+      net.tick_channels();
+    }
+    keep(net.flits_in_flight());
+  }});
 
   // One whole-mesh cycle (25 routers) per op, not per node.
   benches.push_back({"sim_step_5x5_mesh", [](std::int64_t n) {
@@ -173,6 +218,29 @@ std::vector<Bench> make_benches() {
     noc::Simulation sim(cfg);
     for (std::int64_t i = 0; i < n; ++i) sim.step();
   }});
+
+  // The paper-regime case the idle fast path targets: a 16x16 mesh at
+  // 0.02 flits/node/cycle, where nearly every router is quiescent on
+  // any given cycle.  One op = one whole-fabric cycle (256 routers)
+  // through the serial kernel.  The _slowpath twin forces the full
+  // pipeline on every router, so the pair keeps the fast-path win
+  // visible in every recorded bench trajectory.
+  for (const bool fast : {true, false}) {
+    benches.push_back(
+        {fast ? "mesh_idle_fastpath" : "mesh_idle_slowpath",
+         [fast](std::int64_t n) {
+           noc::SimConfig cfg;
+           cfg.radix_x = 16;
+           cfg.radix_y = 16;
+           cfg.injection_rate = 0.02;
+           cfg.warmup_cycles = 0;
+           cfg.measure_cycles = 1;
+           cfg.enable_idle_fastpath = fast;
+           noc::Simulation sim(cfg);
+           for (std::int64_t i = 0; i < n; ++i) sim.step();
+           keep(sim.network().flits_in_flight());
+         }});
+  }
 
   benches.push_back({"powered_noc_run", [](std::int64_t n) {
     // The session path: cached characterization + budgeted kernel.

@@ -112,9 +112,9 @@ struct MeshScalingOptions {
 // Times one simulation per (radix, partition, threads) on the calling
 // thread (sequentially, so wall-clock numbers are not polluted by
 // sibling jobs) and reports the plan's boundary-link count,
-// Mnode-cycles/s, speedup vs the first row of the radix and whether
-// the stats matched that row bit-for-bit (they must, for every
-// partition shape).
+// simulated Mcycles/s and Mnode-cycles/s, speedup vs the first row of
+// the radix and whether the stats matched that row bit-for-bit (they
+// must, for every partition shape).
 ReportTable mesh_scaling(const MeshScalingOptions& opt);
 
 // --- E12: temperature / corner sensitivity ---------------------------------

@@ -5,7 +5,10 @@
 namespace lain::noc {
 
 SeparableAllocator::SeparableAllocator(int inputs, int outputs)
-    : inputs_(inputs), outputs_(outputs) {
+    : inputs_(inputs),
+      outputs_(outputs),
+      proposal_(static_cast<size_t>(inputs < 1 ? 0 : inputs), -1),
+      out_req_(static_cast<size_t>(inputs < 1 ? 0 : inputs), 0) {
   if (inputs < 1 || outputs < 1) {
     throw std::invalid_argument("allocator needs >= 1 input and output");
   }
@@ -19,37 +22,36 @@ SeparableAllocator::SeparableAllocator(int inputs, int outputs)
   for (int o = 0; o < outputs; ++o) output_stage_.emplace_back(inputs);
 }
 
-std::vector<int> SeparableAllocator::allocate(
-    const std::vector<std::vector<bool>>& requests) {
-  if (static_cast<int>(requests.size()) != inputs_) {
-    throw std::invalid_argument("request matrix row count mismatch");
-  }
+void SeparableAllocator::allocate(const std::uint8_t* requests, int* grant) {
   // Stage 1: each input proposes one output.
-  std::vector<int> proposal(static_cast<size_t>(inputs_), -1);
   for (int i = 0; i < inputs_; ++i) {
-    if (static_cast<int>(requests[static_cast<size_t>(i)].size()) !=
-        outputs_) {
-      throw std::invalid_argument("request matrix column count mismatch");
-    }
-    proposal[static_cast<size_t>(i)] =
+    proposal_[static_cast<size_t>(i)] =
         input_stage_[static_cast<size_t>(i)].arbitrate(
-            requests[static_cast<size_t>(i)]);
+            requests + static_cast<size_t>(i) * static_cast<size_t>(outputs_));
+    grant[i] = -1;
   }
   // Stage 2: each output grants one proposing input.
-  std::vector<int> grant(static_cast<size_t>(inputs_), -1);
   for (int o = 0; o < outputs_; ++o) {
-    std::vector<bool> reqs(static_cast<size_t>(inputs_), false);
     bool any = false;
     for (int i = 0; i < inputs_; ++i) {
-      if (proposal[static_cast<size_t>(i)] == o) {
-        reqs[static_cast<size_t>(i)] = true;
-        any = true;
-      }
+      const bool wants = proposal_[static_cast<size_t>(i)] == o;
+      out_req_[static_cast<size_t>(i)] = wants ? 1 : 0;
+      any |= wants;
     }
     if (!any) continue;
-    const int winner = output_stage_[static_cast<size_t>(o)].arbitrate(reqs);
-    if (winner >= 0) grant[static_cast<size_t>(winner)] = o;
+    const int winner =
+        output_stage_[static_cast<size_t>(o)].arbitrate(out_req_.data());
+    if (winner >= 0) grant[winner] = o;
   }
+}
+
+std::vector<int> SeparableAllocator::allocate(
+    const std::vector<std::uint8_t>& requests) {
+  if (static_cast<int>(requests.size()) != inputs_ * outputs_) {
+    throw std::invalid_argument("request matrix size mismatch");
+  }
+  std::vector<int> grant(static_cast<size_t>(inputs_), -1);
+  allocate(requests.data(), grant.data());
   return grant;
 }
 

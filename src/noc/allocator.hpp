@@ -4,10 +4,17 @@
 // output VCs) and switch allocation (requesters = input ports,
 // resources = output ports).  Stage 1 picks one request per input
 // (round-robin), stage 2 arbitrates per output (matrix arbiter).
+//
+// The hot-path entry point operates on caller-owned flat buffers: a
+// row-major inputs x outputs request matrix (one byte per cell) and a
+// grant array of one int per input.  The router keeps both as
+// cycle-reused members, so a steady-state allocation performs zero
+// heap allocations; the allocator's own two-stage scratch is likewise
+// preallocated in the constructor.
 
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "noc/arbiter.hpp"
@@ -18,10 +25,17 @@ class SeparableAllocator {
  public:
   SeparableAllocator(int inputs, int outputs);
 
-  // requests[i][o] = input i wants output o.  Returns grant[i] =
-  // granted output for input i, or -1.  Each output is granted to at
-  // most one input and each input receives at most one output.
-  std::vector<int> allocate(const std::vector<std::vector<bool>>& requests);
+  // requests[i * outputs() + o] != 0 means input i wants output o.
+  // Fills grant[i] with the granted output for input i, or -1.  Each
+  // output is granted to at most one input and each input receives at
+  // most one output.  Both buffers are caller-owned (`requests` holds
+  // inputs()*outputs() bytes, `grant` inputs() ints) and may be
+  // reused across cycles; nothing is allocated on this path.
+  void allocate(const std::uint8_t* requests, int* grant);
+
+  // Checked convenience wrapper (tests, tools): validates the flat
+  // matrix shape and returns a fresh grant vector.
+  std::vector<int> allocate(const std::vector<std::uint8_t>& requests);
 
   int inputs() const { return inputs_; }
   int outputs() const { return outputs_; }
@@ -31,6 +45,9 @@ class SeparableAllocator {
   int outputs_;
   std::vector<RoundRobinArbiter> input_stage_;
   std::vector<MatrixArbiter> output_stage_;
+  // Stage scratch, reused across allocate() calls.
+  std::vector<int> proposal_;          // per input: proposed output or -1
+  std::vector<std::uint8_t> out_req_;  // per input: proposes the current output
 };
 
 }  // namespace lain::noc

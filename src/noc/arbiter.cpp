@@ -1,7 +1,5 @@
 #include "noc/arbiter.hpp"
 
-#include <stdexcept>
-
 namespace lain::noc {
 
 RoundRobinArbiter::RoundRobinArbiter(int inputs, int start)
@@ -12,14 +10,12 @@ RoundRobinArbiter::RoundRobinArbiter(int inputs, int start)
   }
 }
 
-int RoundRobinArbiter::arbitrate(const std::vector<bool>& requests) {
-  if (static_cast<int>(requests.size()) != inputs_) {
-    throw std::invalid_argument("request vector size mismatch");
-  }
+int RoundRobinArbiter::arbitrate(const std::uint8_t* requests) {
   for (int i = 0; i < inputs_; ++i) {
-    const int idx = (next_ + i) % inputs_;
+    int idx = next_ + i;
+    if (idx >= inputs_) idx -= inputs_;
     if (requests[static_cast<size_t>(idx)]) {
-      next_ = (idx + 1) % inputs_;
+      next_ = idx + 1 == inputs_ ? 0 : idx + 1;
       return idx;
     }
   }
@@ -51,10 +47,7 @@ void MatrixArbiter::update(int winner) {
   }
 }
 
-int MatrixArbiter::arbitrate(const std::vector<bool>& requests) {
-  if (static_cast<int>(requests.size()) != inputs_) {
-    throw std::invalid_argument("request vector size mismatch");
-  }
+int MatrixArbiter::arbitrate(const std::uint8_t* requests) {
   int winner = -1;
   for (int a = 0; a < inputs_; ++a) {
     if (!requests[static_cast<size_t>(a)]) continue;

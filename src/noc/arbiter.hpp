@@ -4,9 +4,17 @@
 // granted — property-tested in tests/test_arbiter.cpp).  The matrix
 // arbiter implements least-recently-served priority with R(R-1)/2
 // state bits, as in the router the paper's crossbar would sit in.
+//
+// The hot-path entry point takes a caller-owned flat request buffer
+// (one byte per input, nonzero = requesting) so the router can reuse
+// one scratch buffer every cycle instead of materializing a
+// std::vector<bool> per arbitration.  The checked std::vector
+// overload is a convenience for tests and tools.
 
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace lain::noc {
@@ -14,10 +22,19 @@ namespace lain::noc {
 class Arbiter {
  public:
   virtual ~Arbiter() = default;
-  // Returns the granted index, or -1 if no requests.  `requests` size
-  // must equal num_inputs().
-  virtual int arbitrate(const std::vector<bool>& requests) = 0;
+  // Returns the granted index, or -1 if no requests.  `requests`
+  // points at num_inputs() bytes owned by the caller; the arbiter
+  // never retains the pointer.
+  virtual int arbitrate(const std::uint8_t* requests) = 0;
   virtual int num_inputs() const = 0;
+
+  // Checked convenience wrapper over the flat hot-path entry point.
+  int arbitrate(const std::vector<std::uint8_t>& requests) {
+    if (static_cast<int>(requests.size()) != num_inputs()) {
+      throw std::invalid_argument("request vector size mismatch");
+    }
+    return arbitrate(requests.data());
+  }
 };
 
 class RoundRobinArbiter final : public Arbiter {
@@ -25,7 +42,8 @@ class RoundRobinArbiter final : public Arbiter {
   // `start` sets the initial highest-priority index; separable
   // allocators stagger it per input to avoid lockstep proposals.
   explicit RoundRobinArbiter(int inputs, int start = 0);
-  int arbitrate(const std::vector<bool>& requests) override;
+  using Arbiter::arbitrate;
+  int arbitrate(const std::uint8_t* requests) override;
   int num_inputs() const override { return inputs_; }
 
  private:
@@ -36,7 +54,8 @@ class RoundRobinArbiter final : public Arbiter {
 class MatrixArbiter final : public Arbiter {
  public:
   explicit MatrixArbiter(int inputs);
-  int arbitrate(const std::vector<bool>& requests) override;
+  using Arbiter::arbitrate;
+  int arbitrate(const std::uint8_t* requests) override;
   int num_inputs() const override { return inputs_; }
 
  private:

@@ -4,7 +4,9 @@
 
 namespace lain::noc {
 
-VcBuffer::VcBuffer(int capacity_flits) : capacity_(capacity_flits) {
+VcBuffer::VcBuffer(int capacity_flits)
+    : capacity_(capacity_flits),
+      slots_(static_cast<size_t>(capacity_flits < 1 ? 0 : capacity_flits)) {
   if (capacity_flits < 1) {
     throw std::invalid_argument("VC buffer capacity must be >= 1");
   }
@@ -12,18 +14,22 @@ VcBuffer::VcBuffer(int capacity_flits) : capacity_(capacity_flits) {
 
 void VcBuffer::push(const Flit& f) {
   if (full()) throw std::logic_error("VC buffer overflow (credit bug)");
-  q_.push_back(f);
+  int tail = head_ + count_;
+  if (tail >= capacity_) tail -= capacity_;
+  slots_[static_cast<size_t>(tail)] = f;
+  ++count_;
 }
 
 const Flit& VcBuffer::front() const {
-  if (q_.empty()) throw std::logic_error("front() on empty VC buffer");
-  return q_.front();
+  if (empty()) throw std::logic_error("front() on empty VC buffer");
+  return slots_[static_cast<size_t>(head_)];
 }
 
 Flit VcBuffer::pop() {
-  if (q_.empty()) throw std::logic_error("pop() on empty VC buffer");
-  Flit f = q_.front();
-  q_.pop_front();
+  if (empty()) throw std::logic_error("pop() on empty VC buffer");
+  Flit f = slots_[static_cast<size_t>(head_)];
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  --count_;
   return f;
 }
 

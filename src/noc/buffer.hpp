@@ -1,9 +1,14 @@
 // buffer.hpp — per-VC input FIFO buffers.
+//
+// A VcBuffer is a fixed-capacity ring over preallocated slots: credit
+// flow control bounds the occupancy to the configured depth, so the
+// buffer never needs to grow and push/pop never touch the heap (the
+// deque it replaced allocated chunk nodes as the ring crossed chunk
+// boundaries under load).
 
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "noc/flit.hpp"
@@ -22,9 +27,9 @@ class VcBuffer {
  public:
   explicit VcBuffer(int capacity_flits);
 
-  bool empty() const { return q_.empty(); }
-  bool full() const { return static_cast<int>(q_.size()) >= capacity_; }
-  int size() const { return static_cast<int>(q_.size()); }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ >= capacity_; }
+  int size() const { return count_; }
   int capacity() const { return capacity_; }
 
   void push(const Flit& f);
@@ -37,7 +42,9 @@ class VcBuffer {
 
  private:
   int capacity_;
-  std::deque<Flit> q_;
+  std::vector<Flit> slots_;  // fixed ring storage, sized capacity_
+  int head_ = 0;             // index of the oldest flit
+  int count_ = 0;
 };
 
 // All VC buffers of one input port.

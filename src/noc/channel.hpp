@@ -60,6 +60,17 @@ class Channel {
     }
   }
 
+  // Consumer-side probe for the idle fast path: true when anything is
+  // in the pipe (deliverable now or still traversing).  Reads only the
+  // consumer half of the channel, so — unlike in_flight() — it is safe
+  // to call from the consumer's component phase while the producer's
+  // shard may be staging a send concurrently: an item sent this cycle
+  // is admitted at the exchange phase and seen by the next cycle's
+  // probe, which (with latency >= 1) is always before it becomes
+  // receivable.  That makes quiescence decisions built on this probe
+  // race-free AND bit-deterministic across shard layouts.
+  bool consumer_pending() const { return !pipe_.empty(); }
+
   bool in_flight() const { return !pipe_.empty() || staged_.has_value(); }
   int in_flight_count() const {
     return static_cast<int>(pipe_.size()) + (staged_.has_value() ? 1 : 0);

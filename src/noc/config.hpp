@@ -33,6 +33,12 @@ struct SimConfig {
   int vc_depth_flits = 4;
   int link_latency = 1;
 
+  // Kernel fast path: collapse the cycle of a quiescent router (no
+  // buffered flits, no owned output VCs, empty inbound pipes) to O(1)
+  // bookkeeping.  Results are bit-identical either way — the knob
+  // exists so tests and benchmarks can pin/measure exactly that.
+  bool enable_idle_fastpath = true;
+
   // Workload.
   TrafficPattern pattern = TrafficPattern::kUniform;
   double injection_rate = 0.1;   // flits / node / cycle (long-run average)

@@ -76,7 +76,25 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
     }
   }
   for (NodeId n : sp.nodes) net_.nic(n).tick(now_);
-  for (NodeId n : sp.nodes) net_.router(n).tick();
+  // The shard's active set, recomputed per cycle: a router whose
+  // quiescence predicate holds takes the O(1) idle path, everything
+  // else runs the full pipeline.  Polling each router's own
+  // consumer-side state is the only race-free way to maintain the set
+  // — a producer-side wake list would have upstream shards writing
+  // into this shard's bookkeeping mid-phase.  The predicate reads
+  // only pre-cycle state, so the set (and therefore every stat and
+  // power column) is identical across shard counts, partition shapes
+  // and the forced-slow-path configuration.
+  const bool fastpath = cfg_.enable_idle_fastpath;
+  for (NodeId n : sp.nodes) {
+    Router& r = net_.router(n);
+    if (fastpath && r.quiescent()) {
+      r.tick_idle();
+      ++sh.idle_fast_ticks;
+    } else {
+      r.tick();
+    }
+  }
   // Collect completions at this shard's NICs.  The packet may have
   // been injected by another shard; the counters still sum correctly
   // because every event lands in exactly one shard.
@@ -102,6 +120,12 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
 
 void SimKernel::step_shard_channels(std::size_t shard_index) {
   for (int li : plan_.shards[shard_index].links) net_.tick_link(li);
+}
+
+std::int64_t SimKernel::idle_fast_ticks() const {
+  std::int64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.idle_fast_ticks;
+  return n;
 }
 
 std::int64_t SimKernel::tracked_pending() const {

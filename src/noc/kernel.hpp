@@ -71,6 +71,10 @@ struct Shard {
   // negative for one shard (ejection side); the sum over shards is
   // the fabric-wide in-flight tracked count.
   std::int64_t tracked_pending = 0;
+  // Router ticks this shard took on the O(1) idle fast path.  A
+  // wall-clock observability counter, deliberately NOT part of
+  // SimStats: a forced-slow-path run must compare bit-identical.
+  std::int64_t idle_fast_ticks = 0;
   std::unique_ptr<ObserverSlice> observer;
 };
 
@@ -89,6 +93,12 @@ class SimKernel {
   Cycle now() const { return now_; }
 
   bool saturated() const { return saturated_; }
+
+  // Total router ticks taken on the idle fast path so far, summed
+  // over shards.  Deterministic for a given config+seed (the
+  // quiescence predicate reads only pre-cycle state), and zero when
+  // cfg.enable_idle_fastpath is off.
+  std::int64_t idle_fast_ticks() const;
 
   Network& network() { return net_; }
   const Network& network() const { return net_; }
@@ -118,6 +128,9 @@ class SimKernel {
   // routers, collect completions, run the shard's observer slice.
   // Touches only the shard's nodes and node-local generator state;
   // safe to run concurrently with other shards' component phases.
+  // Routers that pass the quiescence predicate are stepped on the
+  // O(1) idle fast path (bit-identical results; see Router::tick_idle
+  // and cfg.enable_idle_fastpath).
   void step_shard_components(std::size_t shard_index);
   // Exchange phase for one shard: advance its owned channels.
   void step_shard_channels(std::size_t shard_index);

@@ -4,6 +4,10 @@
 // packets into flits, injects them under credit flow control, and
 // sinks ejected flits (returning credits immediately — an infinite
 // ejection buffer, the standard BookSim assumption).
+//
+// tick() takes an O(1) early-out when the NIC is quiescent (empty
+// source queue, no pending completions, empty inbound pipes), so an
+// idle node costs a handful of loads per cycle.
 
 #pragma once
 

@@ -24,6 +24,12 @@
 // cost once).  Traffic uses the per-node RNG streams and SimStats
 // merges exactly, so the result is bit-identical to the serial
 // Simulation — and to itself at any shard count and partition shape.
+//
+// Idle-proportional cost: both engines share the kernel's component
+// phase, which steps quiescent routers on the O(1) idle fast path.
+// The quiescence probe reads only each router's own state and the
+// consumer side of its inbound channels, so it introduces no
+// cross-shard reads and cannot perturb the determinism contract.
 
 #pragma once
 

@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace lain::noc {
@@ -19,17 +21,26 @@ Router::Router(NodeId id, const SimConfig& cfg)
       out_credits_(kNumPorts, nullptr),
       out_flits_(kNumPorts, nullptr),
       in_credits_(kNumPorts, nullptr),
+      credits_(static_cast<size_t>(kNumPorts) * static_cast<size_t>(cfg.vcs),
+               cfg.vc_depth_flits),
+      out_vc_owner_(
+          static_cast<size_t>(kNumPorts) * static_cast<size_t>(cfg.vcs), -1),
       vc_alloc_(kNumPorts * cfg.vcs, kNumPorts * cfg.vcs),
-      sw_alloc_(kNumPorts, kNumPorts) {
-  cfg.validate();
+      sw_alloc_(kNumPorts, kNumPorts),
+      va_req_(static_cast<size_t>(kNumPorts * cfg.vcs) *
+                  static_cast<size_t>(kNumPorts * cfg.vcs),
+              0),
+      va_grant_(static_cast<size_t>(kNumPorts) * static_cast<size_t>(cfg.vcs),
+                -1),
+      sa_req_(static_cast<size_t>(kNumPorts) * static_cast<size_t>(kNumPorts),
+              0),
+      sa_grant_(kNumPorts, -1),
+      sa_cand_(static_cast<size_t>(cfg.vcs), 0) {
+  chosen_vc_.fill(-1);
   inputs_.reserve(kNumPorts);
-  credits_.reserve(kNumPorts);
-  out_vc_owner_.reserve(kNumPorts);
   sa_vc_pick_.reserve(kNumPorts);
   for (int p = 0; p < kNumPorts; ++p) {
     inputs_.emplace_back(cfg.vcs, cfg.vc_depth_flits);
-    credits_.emplace_back(static_cast<size_t>(cfg.vcs), cfg.vc_depth_flits);
-    out_vc_owner_.emplace_back(static_cast<size_t>(cfg.vcs), -1);
     sa_vc_pick_.emplace_back(cfg.vcs);
   }
 }
@@ -46,10 +57,27 @@ void Router::connect_output(Dir d, FlitChannel* flits_out,
   in_credits_.at(static_cast<size_t>(port(d))) = credits_in;
 }
 
-int Router::occupancy() const {
-  int n = 0;
-  for (const auto& ip : inputs_) n += ip.total_occupancy();
-  return n;
+bool Router::quiescent() const {
+  if (buffered_flits_ != 0 || owned_out_vcs_ != 0) return false;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const FlitChannel* fc = in_flits_[static_cast<size_t>(p)];
+    if (fc != nullptr && fc->consumer_pending()) return false;
+    const CreditChannel* cc = in_credits_[static_cast<size_t>(p)];
+    if (cc != nullptr && cc->consumer_pending()) return false;
+  }
+  return true;
+}
+
+void Router::tick_idle() {
+  assert(quiescent());
+  // The collapsed cycle: no stage can act, but the per-cycle
+  // bookkeeping every consumer depends on — event counters, the
+  // activity tap's idle-run accounting and the power hook — fires
+  // exactly as the full pipeline would, so power columns, gating
+  // decisions and idle-period histograms stay bit-identical.
+  events_ = RouterEvents{};
+  activity_.record(0);
+  if (power_hook_ != nullptr) power_hook_->on_cycle(events_);
 }
 
 void Router::receive() {
@@ -59,6 +87,7 @@ void Router::receive() {
     while (auto f = ch->receive()) {
       VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(f->vc);
       vcb.push(*f);
+      ++buffered_flits_;
       ++events_.flits_received;
       // A head arriving at an idle VC starts a new packet; a head
       // arriving behind a draining tail waits its turn (the VC flips
@@ -72,11 +101,12 @@ void Router::receive() {
     CreditChannel* cr = in_credits_[static_cast<size_t>(p)];
     if (cr == nullptr) continue;
     while (auto c = cr->receive()) {
-      ++credits_[static_cast<size_t>(p)][static_cast<size_t>(c->vc)];
-      if (credits_[static_cast<size_t>(p)][static_cast<size_t>(c->vc)] >
-          cfg_.vc_depth_flits) {
-        throw std::logic_error("credit overflow (flow-control bug)");
-      }
+      ++credits_[pv(p, c->vc)];
+      // A credit beyond the downstream depth means the flow-control
+      // invariant broke; Debug/sanitizer builds stop here, Release
+      // hot builds do not pay for the check on every credit.
+      assert(credits_[pv(p, c->vc)] <= cfg_.vc_depth_flits &&
+             "credit overflow (flow-control bug)");
     }
   }
 }
@@ -111,37 +141,47 @@ bool Router::vc_admissible(int in_port, int in_vc, int out_port,
 }
 
 void Router::vc_allocate() {
+  // Pre-scan: most cycles no VC is waiting for an output VC, and the
+  // request matrix need not be touched at all.
+  bool any_waiting = false;
+  for (int p = 0; p < kNumPorts && !any_waiting; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      if (inputs_[static_cast<size_t>(p)].vc(v).state == VcState::kWaitingVc) {
+        any_waiting = true;
+        break;
+      }
+    }
+  }
+  if (!any_waiting) return;
+
   const int n = kNumPorts * cfg_.vcs;
-  std::vector<std::vector<bool>> req(
-      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+  std::fill(va_req_.begin(), va_req_.end(), 0);
   bool any = false;
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
       VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
       if (vcb.state != VcState::kWaitingVc) continue;
       for (int ov = 0; ov < cfg_.vcs; ++ov) {
-        if (out_vc_owner_[static_cast<size_t>(vcb.out_port)]
-                         [static_cast<size_t>(ov)] != -1) {
-          continue;
-        }
+        if (out_vc_owner_[pv(vcb.out_port, ov)] != -1) continue;
         if (!vc_admissible(p, v, vcb.out_port, ov)) continue;
-        req[static_cast<size_t>(p * cfg_.vcs + v)]
-           [static_cast<size_t>(vcb.out_port * cfg_.vcs + ov)] = true;
+        va_req_[static_cast<size_t>(p * cfg_.vcs + v) *
+                    static_cast<size_t>(n) +
+                static_cast<size_t>(vcb.out_port * cfg_.vcs + ov)] = 1;
         any = true;
       }
     }
   }
   if (!any) return;
-  const std::vector<int> grant = vc_alloc_.allocate(req);
+  vc_alloc_.allocate(va_req_.data(), va_grant_.data());
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
-      const int g = grant[static_cast<size_t>(p * cfg_.vcs + v)];
+      const int g = va_grant_[pv(p, v)];
       if (g < 0) continue;
       VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
       vcb.out_vc = g % cfg_.vcs;
       vcb.state = VcState::kActive;
-      out_vc_owner_[static_cast<size_t>(vcb.out_port)]
-                   [static_cast<size_t>(vcb.out_vc)] = p * cfg_.vcs + v;
+      out_vc_owner_[pv(vcb.out_port, vcb.out_vc)] = p * cfg_.vcs + v;
+      ++owned_out_vcs_;
       ++events_.arbitrations;
     }
   }
@@ -149,29 +189,24 @@ void Router::vc_allocate() {
 
 void Router::switch_traverse() {
   // Pick one candidate VC per input port, then allocate ports.
-  std::vector<int> chosen_vc(kNumPorts, -1);
-  std::vector<std::vector<bool>> req(
-      kNumPorts, std::vector<bool>(kNumPorts, false));
+  chosen_vc_.fill(-1);
+  std::fill(sa_req_.begin(), sa_req_.end(), 0);
   bool demand = false;
   for (int p = 0; p < kNumPorts; ++p) {
-    std::vector<bool> candidates(static_cast<size_t>(cfg_.vcs), false);
     bool any = false;
     for (int v = 0; v < cfg_.vcs; ++v) {
       const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
-      if (vcb.state != VcState::kActive || vcb.empty()) continue;
-      if (credits_[static_cast<size_t>(vcb.out_port)]
-                  [static_cast<size_t>(vcb.out_vc)] <= 0) {
-        continue;
-      }
-      candidates[static_cast<size_t>(v)] = true;
-      any = true;
+      const bool eligible = vcb.state == VcState::kActive && !vcb.empty() &&
+                            credits_[pv(vcb.out_port, vcb.out_vc)] > 0;
+      sa_cand_[static_cast<size_t>(v)] = eligible ? 1 : 0;
+      any |= eligible;
     }
     if (!any) continue;
     demand = true;
-    const int v = sa_vc_pick_[static_cast<size_t>(p)].arbitrate(candidates);
-    chosen_vc[static_cast<size_t>(p)] = v;
+    const int v = sa_vc_pick_[static_cast<size_t>(p)].arbitrate(sa_cand_.data());
+    chosen_vc_[static_cast<size_t>(p)] = v;
     const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
-    req[static_cast<size_t>(p)][static_cast<size_t>(vcb.out_port)] = true;
+    sa_req_[static_cast<size_t>(p * kNumPorts + vcb.out_port)] = 1;
   }
 
   events_.demand = demand;
@@ -186,30 +221,31 @@ void Router::switch_traverse() {
     return;
   }
 
-  const std::vector<int> grant = sw_alloc_.allocate(req);
+  sw_alloc_.allocate(sa_req_.data(), sa_grant_.data());
   int traversed = 0;
   for (int p = 0; p < kNumPorts; ++p) {
-    const int out_port = grant[static_cast<size_t>(p)];
+    const int out_port = sa_grant_[static_cast<size_t>(p)];
     if (out_port < 0) continue;
     VcBuffer& vcb =
-        inputs_[static_cast<size_t>(p)].vc(chosen_vc[static_cast<size_t>(p)]);
+        inputs_[static_cast<size_t>(p)].vc(chosen_vc_[static_cast<size_t>(p)]);
     Flit f = vcb.pop();
+    --buffered_flits_;
     const bool tail = f.is_tail();
     f.vc = vcb.out_vc;
     ++f.hops;
     out_flits_[static_cast<size_t>(out_port)]->send(f);
-    --credits_[static_cast<size_t>(out_port)][static_cast<size_t>(vcb.out_vc)];
+    --credits_[pv(out_port, vcb.out_vc)];
     // Return a credit for the slot just freed upstream.
     if (out_credits_[static_cast<size_t>(p)] != nullptr) {
       out_credits_[static_cast<size_t>(p)]->send(
-          Credit{chosen_vc[static_cast<size_t>(p)]});
+          Credit{chosen_vc_[static_cast<size_t>(p)]});
     }
     ++events_.arbitrations;
     ++traversed;
     if (out_port != port(Dir::kLocal)) ++events_.link_flits;
     if (tail) {
-      out_vc_owner_[static_cast<size_t>(vcb.out_port)]
-                   [static_cast<size_t>(vcb.out_vc)] = -1;
+      out_vc_owner_[pv(vcb.out_port, vcb.out_vc)] = -1;
+      --owned_out_vcs_;
       vcb.out_port = -1;
       vcb.out_vc = -1;
       vcb.state = vcb.empty() ? VcState::kIdle : VcState::kRouting;

@@ -15,9 +15,21 @@
 // attached sleep controller holds the switch in standby, ST stalls
 // until the wake-up latency is paid, exactly like the paper's
 // microarchitecture would.
+//
+// Hot-path contract: the per-cycle pipeline performs no heap
+// allocation.  All request/grant/candidate storage is preallocated in
+// the constructor and reused every cycle (flat arrays indexed
+// port*vcs+vc), and the allocators/arbiters operate on those
+// caller-owned buffers.  Routers with nothing to do take the idle
+// fast path instead: quiescent() is an O(ports) consumer-side probe,
+// and tick_idle() collapses the cycle to the bookkeeping every
+// downstream consumer still needs (events, crossbar activity, power
+// hook) — bit-identical to what the full pipeline would have done.
 
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -50,6 +62,8 @@ class PowerHook {
 
 class Router {
  public:
+  // The config is validated once at fabric construction (Network /
+  // SimConfig::validate), not per router.
   Router(NodeId id, const SimConfig& cfg);
 
   NodeId id() const { return id_; }
@@ -64,17 +78,34 @@ class Router {
   // on the local output channel like any other port.
   void tick();
 
+  // True when this cycle's full pipeline would provably be a no-op:
+  // no buffered flits, no owned output VCs, and nothing in any
+  // inbound flit or credit pipe.  Reads only router-local state and
+  // the consumer side of the inbound channels, so it is safe (and
+  // deterministic) to evaluate during a sharded component phase while
+  // upstream shards stage sends concurrently.
+  bool quiescent() const;
+
+  // The O(1) collapsed cycle for a quiescent router: resets the event
+  // counters, records an idle crossbar cycle (so idle-run histograms
+  // and gating decisions advance exactly as under tick()) and fires
+  // the power hook with empty events.  Must only be called when
+  // quiescent(); checked in Debug builds.
+  void tick_idle();
+
   const RouterEvents& last_events() const { return events_; }
   const CrossbarActivity& activity() const { return activity_; }
   int credits(int out_port, int vc) const {
-    return credits_.at(static_cast<size_t>(out_port))
-        .at(static_cast<size_t>(vc));
+    return credits_.at(
+        static_cast<size_t>(out_port) * static_cast<size_t>(cfg_.vcs) +
+        static_cast<size_t>(vc));
   }
   const InputPort& input(int port) const {
     return inputs_.at(static_cast<size_t>(port));
   }
-  // Total flits resident in this router's input buffers.
-  int occupancy() const;
+  // Total flits resident in this router's input buffers (tracked
+  // incrementally; O(1)).
+  int occupancy() const { return buffered_flits_; }
 
  private:
   void receive();
@@ -82,6 +113,10 @@ class Router {
   void vc_allocate();
   void switch_traverse();
   bool vc_admissible(int in_port, int in_vc, int out_port, int out_vc) const;
+  size_t pv(int port, int vc) const {
+    return static_cast<size_t>(port) * static_cast<size_t>(cfg_.vcs) +
+           static_cast<size_t>(vc);
+  }
 
   NodeId id_;
   SimConfig cfg_;
@@ -93,14 +128,25 @@ class Router {
   std::vector<FlitChannel*> out_flits_;
   std::vector<CreditChannel*> in_credits_;
 
-  // credits_[port][vc]: free downstream slots.
-  std::vector<std::vector<int>> credits_;
-  // out_vc_owner_[port][vc]: owning (input port * vcs + vc), or -1.
-  std::vector<std::vector<int>> out_vc_owner_;
+  // credits_[port*vcs+vc]: free downstream slots.
+  std::vector<int> credits_;
+  // out_vc_owner_[port*vcs+vc]: owning (input port * vcs + vc), or -1.
+  std::vector<int> out_vc_owner_;
+  int buffered_flits_ = 0;  // flits across all input VC buffers
+  int owned_out_vcs_ = 0;   // output VCs currently owned by an input VC
 
   SeparableAllocator vc_alloc_;
   SeparableAllocator sw_alloc_;
   std::vector<RoundRobinArbiter> sa_vc_pick_;  // per-input VC selector
+
+  // Cycle-reused pipeline scratch (sized once in the constructor; the
+  // steady-state tick never touches the heap).
+  std::vector<std::uint8_t> va_req_;   // (ports*vcs)^2 request matrix
+  std::vector<int> va_grant_;          // ports*vcs grants
+  std::vector<std::uint8_t> sa_req_;   // ports^2 request matrix
+  std::vector<int> sa_grant_;          // per-port grants
+  std::vector<std::uint8_t> sa_cand_;  // per-port candidate VC flags
+  std::array<int, kNumPorts> chosen_vc_{};  // SA stage-1 winner per port
 
   PowerHook* power_hook_ = nullptr;
   RouterEvents events_;

@@ -5,13 +5,16 @@
 namespace lain::noc {
 namespace {
 
+// Row-major flat request matrix, as the router's hot path builds it.
+using ReqMatrix = std::vector<std::uint8_t>;
+
 TEST(Allocator, OneGrantPerInputAndOutput) {
   SeparableAllocator alloc(4, 4);
   // Everyone wants output 0 plus their own index.
-  std::vector<std::vector<bool>> req(4, std::vector<bool>(4, false));
+  ReqMatrix req(16, 0);
   for (int i = 0; i < 4; ++i) {
-    req[static_cast<size_t>(i)][0] = true;
-    req[static_cast<size_t>(i)][static_cast<size_t>(i)] = true;
+    req[static_cast<size_t>(i * 4)] = 1;
+    req[static_cast<size_t>(i * 4 + i)] = 1;
   }
   const auto grant = alloc.allocate(req);
   std::vector<int> out_granted(4, 0);
@@ -25,8 +28,8 @@ TEST(Allocator, OneGrantPerInputAndOutput) {
 
 TEST(Allocator, GrantsRespectRequests) {
   SeparableAllocator alloc(3, 3);
-  std::vector<std::vector<bool>> req(3, std::vector<bool>(3, false));
-  req[1][2] = true;
+  ReqMatrix req(9, 0);
+  req[1 * 3 + 2] = 1;
   const auto grant = alloc.allocate(req);
   EXPECT_EQ(grant[0], -1);
   EXPECT_EQ(grant[1], 2);
@@ -36,7 +39,7 @@ TEST(Allocator, GrantsRespectRequests) {
 TEST(Allocator, ConflictEventuallyShared) {
   // Two inputs fighting for one output each get it about half the time.
   SeparableAllocator alloc(2, 1);
-  std::vector<std::vector<bool>> req = {{true}, {true}};
+  const ReqMatrix req{1, 1};
   int wins0 = 0, wins1 = 0;
   for (int i = 0; i < 100; ++i) {
     const auto g = alloc.allocate(req);
@@ -53,7 +56,7 @@ TEST(Allocator, FullMatrixThroughput) {
   // outputs every round (input-first separable achieves this when the
   // input proposals rotate).
   SeparableAllocator alloc(4, 4);
-  std::vector<std::vector<bool>> req(4, std::vector<bool>(4, true));
+  const ReqMatrix req(16, 1);
   int total = 0;
   const int rounds = 100;
   for (int i = 0; i < rounds; ++i) {
@@ -65,10 +68,25 @@ TEST(Allocator, FullMatrixThroughput) {
   EXPECT_GT(total, rounds * 4 * 6 / 10);
 }
 
+TEST(Allocator, CallerOwnedBuffersAreReusedNotRetained) {
+  // The flat hot-path entry point writes grants into the caller's
+  // buffer and leaves ungranted inputs at -1, cycle after cycle on
+  // the same storage — exactly how Router uses it.
+  SeparableAllocator alloc(2, 2);
+  ReqMatrix req{0, 1, 0, 0};        // input 0 -> output 1 only
+  std::vector<int> grant(2, 99);    // stale values must be overwritten
+  for (int i = 0; i < 3; ++i) {
+    alloc.allocate(req.data(), grant.data());
+    EXPECT_EQ(grant[0], 1);
+    EXPECT_EQ(grant[1], -1);
+    grant.assign(2, 99);
+  }
+}
+
 TEST(Allocator, ShapeValidation) {
   SeparableAllocator alloc(2, 3);
-  EXPECT_THROW(alloc.allocate({{true, true, true}}), std::invalid_argument);
-  EXPECT_THROW(alloc.allocate({{true}, {true}}), std::invalid_argument);
+  EXPECT_THROW(alloc.allocate(ReqMatrix{1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(alloc.allocate(ReqMatrix(12, 1)), std::invalid_argument);
   EXPECT_THROW(SeparableAllocator(0, 1), std::invalid_argument);
 }
 

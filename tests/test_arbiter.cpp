@@ -7,9 +7,11 @@
 namespace lain::noc {
 namespace {
 
+using Req = std::vector<std::uint8_t>;
+
 TEST(RoundRobin, RotatesPriority) {
   RoundRobinArbiter a(3);
-  std::vector<bool> all{true, true, true};
+  const Req all{1, 1, 1};
   EXPECT_EQ(a.arbitrate(all), 0);
   EXPECT_EQ(a.arbitrate(all), 1);
   EXPECT_EQ(a.arbitrate(all), 2);
@@ -18,19 +20,19 @@ TEST(RoundRobin, RotatesPriority) {
 
 TEST(RoundRobin, SkipsIdleRequesters) {
   RoundRobinArbiter a(4);
-  std::vector<bool> req{false, false, true, false};
+  const Req req{0, 0, 1, 0};
   EXPECT_EQ(a.arbitrate(req), 2);
   EXPECT_EQ(a.arbitrate(req), 2);
 }
 
 TEST(RoundRobin, NoRequests) {
   RoundRobinArbiter a(4);
-  EXPECT_EQ(a.arbitrate({false, false, false, false}), -1);
+  EXPECT_EQ(a.arbitrate(Req{0, 0, 0, 0}), -1);
 }
 
 TEST(Matrix, LeastRecentlyServed) {
   MatrixArbiter a(3);
-  std::vector<bool> all{true, true, true};
+  const Req all{1, 1, 1};
   const int first = a.arbitrate(all);
   const int second = a.arbitrate(all);
   const int third = a.arbitrate(all);
@@ -44,17 +46,32 @@ TEST(Matrix, LeastRecentlyServed) {
 
 TEST(Matrix, SingleRequesterAlwaysWins) {
   MatrixArbiter a(4);
-  std::vector<bool> req{false, true, false, false};
+  const Req req{0, 1, 0, 0};
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.arbitrate(req), 1);
 }
 
 TEST(Arbiters, SizeMismatchThrows) {
+  // The checked std::vector overload validates; the raw-pointer entry
+  // point is the unchecked hot path.
   RoundRobinArbiter rr(3);
   MatrixArbiter mx(3);
-  EXPECT_THROW(rr.arbitrate({true}), std::invalid_argument);
-  EXPECT_THROW(mx.arbitrate({true}), std::invalid_argument);
+  EXPECT_THROW(rr.arbitrate(Req{1}), std::invalid_argument);
+  EXPECT_THROW(mx.arbitrate(Req{1}), std::invalid_argument);
   EXPECT_THROW(RoundRobinArbiter(0), std::invalid_argument);
   EXPECT_THROW(MatrixArbiter(0), std::invalid_argument);
+}
+
+TEST(Arbiters, FlatBufferEntryPointMatchesVectorOverload) {
+  // The hot path takes a caller-owned flat buffer; it must behave
+  // exactly like the checked overload, reusing the same buffer across
+  // calls without the arbiter retaining it.
+  RoundRobinArbiter a(3);
+  RoundRobinArbiter b(3);
+  Req buf{1, 0, 1};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.arbitrate(buf.data()), b.arbitrate(buf));
+    buf[static_cast<size_t>(i % 3)] ^= 1;  // vary the pattern
+  }
 }
 
 // Property: under persistent requests from every input, both arbiter
@@ -76,11 +93,11 @@ TEST_P(StarvationFreedom, PersistentRequestersAllServed) {
   } else {
     arb = std::make_unique<MatrixArbiter>(c.inputs);
   }
-  std::vector<bool> all(static_cast<size_t>(c.inputs), true);
+  const Req all(static_cast<size_t>(c.inputs), 1);
   std::vector<int> grants(static_cast<size_t>(c.inputs), 0);
   const int rounds = 20 * c.inputs;
   for (int i = 0; i < rounds; ++i) {
-    const int g = arb->arbitrate(all);
+    const int g = arb->arbitrate(all.data());
     ASSERT_GE(g, 0);
     ++grants[static_cast<size_t>(g)];
   }
