@@ -7,7 +7,9 @@ namespace lain::circuit {
 
 double stage_delay_s(const Stage& s) {
   if (s.rdrv_ohm < 0.0) throw std::invalid_argument("negative driver R");
-  if (s.contention < 1.0) throw std::invalid_argument("contention must be >= 1");
+  if (s.contention < 1.0) {
+    throw std::invalid_argument("contention must be >= 1");
+  }
   if (s.swing <= 0.0) throw std::invalid_argument("swing derating must be > 0");
   double base;
   if (s.tree != nullptr) {

@@ -62,7 +62,8 @@ double keeper_contention_slowdown(double i_driver_a, double i_keeper_a) {
   if (i_driver_a <= 0.0) throw std::domain_error("driver has no current");
   if (i_keeper_a < 0.0) throw std::invalid_argument("negative keeper current");
   if (i_keeper_a >= i_driver_a) {
-    throw std::domain_error("keeper overpowers driver; transition never completes");
+    throw std::domain_error(
+        "keeper overpowers driver; transition never completes");
   }
   return 1.0 / (1.0 - i_keeper_a / i_driver_a);
 }

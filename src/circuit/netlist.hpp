@@ -72,7 +72,9 @@ class Netlist {
                       DeviceRole role, NodeId gate, NodeId drain,
                       NodeId source);
 
-  const Node& node(NodeId id) const { return nodes_.at(static_cast<size_t>(id)); }
+  const Node& node(NodeId id) const {
+    return nodes_.at(static_cast<size_t>(id));
+  }
   const Device& device(DeviceId id) const {
     return devices_.at(static_cast<size_t>(id));
   }

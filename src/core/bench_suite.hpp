@@ -179,6 +179,6 @@ ReportTable breakeven_policy_check(int idle_run_cycles = 50);
 // --- E5: segmentation ablation ---------------------------------------------
 ReportTable segmentation_ablation(LainContext& ctx,
                                   const SweepEngine& engine);
-ReportTable segmentation_ablation(const SweepEngine& engine);  // deprecated shim
+ReportTable segmentation_ablation(const SweepEngine& engine);  // deprecated
 
 }  // namespace lain::core

@@ -139,7 +139,9 @@ std::vector<double> parse_range(const std::string& spec) {
     return out;
   }
   std::vector<double> out;
-  for (const std::string& piece : split_csv(spec)) out.push_back(std::stod(piece));
+  for (const std::string& piece : split_csv(spec)) {
+    out.push_back(std::stod(piece));
+  }
   if (out.empty()) throw std::invalid_argument("empty numeric axis: " + spec);
   return out;
 }

@@ -40,7 +40,9 @@ class ReportTable {
   // Fixed-precision numeric cell; CSV gets the full-precision value.
   ReportTable& cell(double value, int precision = 2);
   ReportTable& cell(std::int64_t value);
-  ReportTable& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  ReportTable& cell(int value) {
+    return cell(static_cast<std::int64_t>(value));
+  }
   // Fraction rendered as a percentage ("42.0%"); CSV gets the fraction.
   ReportTable& cell_pct(double fraction, int precision = 1);
   // Appends a marker (e.g. " [sat]") to the last cell's text form.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace lain::noc {
 
 SeparableAllocator::SeparableAllocator(int inputs, int outputs)
@@ -22,7 +24,8 @@ SeparableAllocator::SeparableAllocator(int inputs, int outputs)
   for (int o = 0; o < outputs; ++o) output_stage_.emplace_back(inputs);
 }
 
-void SeparableAllocator::allocate(const std::uint8_t* requests, int* grant) {
+LAIN_HOT_PATH LAIN_NO_ALLOC void SeparableAllocator::allocate(
+    const std::uint8_t* requests, int* grant) {
   // Stage 1: each input proposes one output.
   for (int i = 0; i < inputs_; ++i) {
     proposal_[static_cast<size_t>(i)] =

@@ -1,5 +1,7 @@
 #include "noc/arbiter.hpp"
 
+#include "core/contracts.hpp"
+
 namespace lain::noc {
 
 RoundRobinArbiter::RoundRobinArbiter(int inputs, int start)
@@ -10,7 +12,8 @@ RoundRobinArbiter::RoundRobinArbiter(int inputs, int start)
   }
 }
 
-int RoundRobinArbiter::arbitrate(const std::uint8_t* requests) {
+LAIN_HOT_PATH LAIN_NO_ALLOC int RoundRobinArbiter::arbitrate(
+    const std::uint8_t* requests) {
   for (int i = 0; i < inputs_; ++i) {
     int idx = next_ + i;
     if (idx >= inputs_) idx -= inputs_;
@@ -38,7 +41,7 @@ bool MatrixArbiter::prio(int a, int b) const {
   return m_[static_cast<size_t>(a * inputs_ + b)];
 }
 
-void MatrixArbiter::update(int winner) {
+LAIN_HOT_PATH LAIN_NO_ALLOC void MatrixArbiter::update(int winner) {
   // Winner becomes lowest priority: clear its row, set its column.
   for (int b = 0; b < inputs_; ++b) {
     if (b == winner) continue;
@@ -47,7 +50,8 @@ void MatrixArbiter::update(int winner) {
   }
 }
 
-int MatrixArbiter::arbitrate(const std::uint8_t* requests) {
+LAIN_HOT_PATH LAIN_NO_ALLOC int MatrixArbiter::arbitrate(
+    const std::uint8_t* requests) {
   int winner = -1;
   for (int a = 0; a < inputs_; ++a) {
     if (!requests[static_cast<size_t>(a)]) continue;

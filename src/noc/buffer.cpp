@@ -1,6 +1,9 @@
 #include "noc/buffer.hpp"
 
+#include <cassert>
 #include <stdexcept>
+
+#include "core/contracts.hpp"
 
 namespace lain::noc {
 
@@ -12,21 +15,23 @@ VcBuffer::VcBuffer(int capacity_flits)
   }
 }
 
-void VcBuffer::push(const Flit& f) {
-  if (full()) throw std::logic_error("VC buffer overflow (credit bug)");
+// Overflow/underflow here means a credit-accounting bug upstream, not
+// a runtime condition: asserts, so Release pays nothing (PR 5).
+LAIN_HOT_PATH LAIN_NO_ALLOC void VcBuffer::push(const Flit& f) {
+  assert(!full() && "VC buffer overflow (credit bug)");
   int tail = head_ + count_;
   if (tail >= capacity_) tail -= capacity_;
   slots_[static_cast<size_t>(tail)] = f;
   ++count_;
 }
 
-const Flit& VcBuffer::front() const {
-  if (empty()) throw std::logic_error("front() on empty VC buffer");
+LAIN_HOT_PATH LAIN_NO_ALLOC const Flit& VcBuffer::front() const {
+  assert(!empty() && "front() on empty VC buffer");
   return slots_[static_cast<size_t>(head_)];
 }
 
-Flit VcBuffer::pop() {
-  if (empty()) throw std::logic_error("pop() on empty VC buffer");
+LAIN_HOT_PATH LAIN_NO_ALLOC Flit VcBuffer::pop() {
+  assert(!empty() && "pop() on empty VC buffer");
   Flit f = slots_[static_cast<size_t>(head_)];
   head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
   --count_;

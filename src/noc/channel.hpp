@@ -10,14 +10,24 @@
 // moves the staged item into the pipe.  With component ticks (sends
 // and receives) and channel ticks separated by a barrier, a channel
 // crossing a shard boundary needs no locks: its producer and consumer
-// never touch the same member in the same phase.
+// never touch the same member in the same phase.  Under LAIN_RACECHECK
+// that split is enforced: every access checks the calling shard and
+// phase against the channel's owners (see core/contracts.hpp).
+//
+// The pipe is a fixed ring over latency + 1 preallocated slots, not a
+// deque: one item is admitted per cycle and the consumer drains every
+// deliverable item each cycle, so occupancy never exceeds latency + 1
+// (asserted in Debug/sanitizer builds) and the exchange phase never
+// touches the heap.
 
 #pragma once
 
-#include <deque>
+#include <cassert>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
+#include "core/contracts.hpp"
 #include "noc/flit.hpp"
 
 namespace lain::noc {
@@ -25,37 +35,55 @@ namespace lain::noc {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(int latency_cycles = 1) : latency_(latency_cycles) {
+  explicit Channel(int latency_cycles = 1)
+      : latency_(latency_cycles),
+        slots_(static_cast<size_t>(latency_cycles < 1 ? 0
+                                                      : latency_cycles + 1)) {
     if (latency_cycles < 1) {
       throw std::invalid_argument("channel latency must be >= 1");
     }
   }
 
-  // Producer side (at most one item per cycle).
-  void send(const T& item) {
-    if (staged_.has_value()) {
-      throw std::logic_error("channel accepts one item per cycle");
-    }
+  // Producer side (at most one item per cycle).  Double-send means the
+  // producer violated the one-flit-per-cycle contract upstream flow
+  // control guarantees; checked in Debug/sanitizer builds.
+  LAIN_HOT_PATH LAIN_NO_ALLOC void send(const T& item) {
+    rc_producer("Channel::send");
+    LAIN_SHARD_PHASE(component);
+    assert(!staged_.has_value() && "channel accepts one item per cycle");
     staged_ = item;
   }
 
   // Consumer side: item that has completed traversal, if any.
-  std::optional<T> receive() {
-    if (!pipe_.empty() && pipe_.front().remaining == 0) {
-      T item = pipe_.front().item;
-      pipe_.pop_front();
+  LAIN_HOT_PATH LAIN_NO_ALLOC std::optional<T> receive() {
+    rc_consumer("Channel::receive");
+    LAIN_SHARD_PHASE(component);
+    if (count_ > 0 && slots_[static_cast<size_t>(head_)].remaining == 0) {
+      T item = slots_[static_cast<size_t>(head_)].item;
+      head_ = head_ + 1 == capacity() ? 0 : head_ + 1;
+      --count_;
       return item;
     }
     return std::nullopt;
   }
 
   // Exchange phase: advance one cycle and admit the staged item.
-  void tick() {
-    for (auto& s : pipe_) {
+  LAIN_HOT_PATH LAIN_NO_ALLOC void tick() {
+    rc_exchange("Channel::tick");
+    LAIN_SHARD_PHASE(exchange);
+    for (int i = 0; i < count_; ++i) {
+      int idx = head_ + i;
+      if (idx >= capacity()) idx -= capacity();
+      Slot& s = slots_[static_cast<size_t>(idx)];
       if (s.remaining > 0) --s.remaining;
     }
     if (staged_.has_value()) {
-      pipe_.push_back(Slot{*staged_, latency_ - 1});
+      assert(count_ < capacity() &&
+             "channel pipe overflow (consumer stopped draining)");
+      int tail = head_ + count_;
+      if (tail >= capacity()) tail -= capacity();
+      slots_[static_cast<size_t>(tail)] = Slot{*staged_, latency_ - 1};
+      ++count_;
       staged_.reset();
     }
   }
@@ -69,21 +97,78 @@ class Channel {
   // probe, which (with latency >= 1) is always before it becomes
   // receivable.  That makes quiescence decisions built on this probe
   // race-free AND bit-deterministic across shard layouts.
-  bool consumer_pending() const { return !pipe_.empty(); }
+  LAIN_HOT_PATH LAIN_NO_ALLOC bool consumer_pending() const {
+    rc_consumer("Channel::consumer_pending");
+    return count_ > 0;
+  }
 
-  bool in_flight() const { return !pipe_.empty() || staged_.has_value(); }
+  // Whole-channel probes: these read the staging slot, so during a
+  // sharded component phase only the producer may call them (enforced
+  // under LAIN_RACECHECK; any other shard would be reading a slot that
+  // is not published until the exchange phase).
+  bool in_flight() const {
+    rc_staging("Channel::in_flight");
+    return count_ > 0 || staged_.has_value();
+  }
   int in_flight_count() const {
-    return static_cast<int>(pipe_.size()) + (staged_.has_value() ? 1 : 0);
+    rc_staging("Channel::in_flight_count");
+    return count_ + (staged_.has_value() ? 1 : 0);
   }
   int latency() const { return latency_; }
+
+#if LAIN_RACECHECK
+  // Tags this channel with its shard owners (called by the kernel once
+  // the partition plan is known): `producer` stages sends and
+  // `consumer` receives during the component phase; `exchange_owner`
+  // advances the pipe during the exchange phase.  For flit channels
+  // consumer == exchange_owner (the link owner); for credit channels —
+  // which flow opposite to flits — the link owner produces and still
+  // ticks, while the link source consumes.
+  void rc_set_owners(int producer, int consumer, int exchange_owner,
+                     int tile, const char* kind) {
+    rc_tag_.producer_shard = producer;
+    rc_tag_.consumer_shard = consumer;
+    rc_tag_.owner_shard = exchange_owner;
+    rc_tag_.tile = tile;
+    rc_tag_.kind = kind;
+  }
+  const contracts::OwnerTag& rc_tag() const { return rc_tag_; }
+#else
+  void rc_set_owners(int, int, int, int, const char*) {}
+#endif
 
  private:
   struct Slot {
     T item;
     int remaining;
   };
+  int capacity() const { return static_cast<int>(slots_.size()); }
+
+#if LAIN_RACECHECK
+  void rc_producer(const char* op) const {
+    contracts::check_producer_access(rc_tag_, op);
+  }
+  void rc_consumer(const char* op) const {
+    contracts::check_consumer_access(rc_tag_, op);
+  }
+  void rc_exchange(const char* op) const {
+    contracts::check_exchange_access(rc_tag_, op);
+  }
+  void rc_staging(const char* op) const {
+    contracts::check_staging_read(rc_tag_, op);
+  }
+  contracts::OwnerTag rc_tag_;
+#else
+  void rc_producer(const char*) const {}
+  void rc_consumer(const char*) const {}
+  void rc_exchange(const char*) const {}
+  void rc_staging(const char*) const {}
+#endif
+
   int latency_;
-  std::deque<Slot> pipe_;
+  std::vector<Slot> slots_;  // fixed ring storage, latency_ + 1 slots
+  int head_ = 0;             // index of the oldest in-pipe item
+  int count_ = 0;            // items in the pipe (excludes staged_)
   std::optional<T> staged_;
 };
 

@@ -1,19 +1,22 @@
 #include "noc/kernel.hpp"
 
+#include "core/contracts.hpp"
+
 namespace lain::noc {
 
 namespace {
 
+using SliceFn = std::function<void(Cycle, Network&, const ShardPlan&)>;
+
 class FunctionSlice final : public ObserverSlice {
  public:
-  explicit FunctionSlice(std::function<void(Cycle, Network&, const ShardPlan&)> fn)
-      : fn_(std::move(fn)) {}
+  explicit FunctionSlice(SliceFn fn) : fn_(std::move(fn)) {}
   void on_cycle(Cycle now, Network& net, const ShardPlan& shard) override {
     fn_(now, net, shard);
   }
 
  private:
-  std::function<void(Cycle, Network&, const ShardPlan&)> fn_;
+  SliceFn fn_;
 };
 
 }  // namespace
@@ -33,6 +36,10 @@ SimKernel::SimKernel(const SimConfig& cfg)
 void SimKernel::init_partition(PartitionStrategy strategy, int num_shards) {
   plan_ = make_partition(net_, strategy, num_shards);
   shards_ = std::vector<Shard>(static_cast<std::size_t>(plan_.num_shards()));
+  // Racecheck: stamp every component and channel with its owning
+  // shard so out-of-phase or cross-shard access aborts (no-op unless
+  // built with LAIN_RACECHECK).
+  net_.rc_tag_shards(plan_.shard_of);
   if (observer_factory_) make_observer_slices();
 }
 
@@ -58,6 +65,11 @@ void SimKernel::for_each_observer(
 }
 
 void SimKernel::step_shard_components(std::size_t shard_index) {
+  // Marks this thread as stepping `shard_index`'s component phase;
+  // covers the serial engine (shard 0 inline) and every sharded
+  // worker alike.  Compiles away unless built with LAIN_RACECHECK.
+  contracts::PhaseScope rc_scope(contracts::Phase::component,
+                                 static_cast<int>(shard_index));
   const ShardPlan& sp = plan_.shards[shard_index];
   Shard& sh = shards_[shard_index];
   if (injecting_) {
@@ -119,6 +131,8 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
 }
 
 void SimKernel::step_shard_channels(std::size_t shard_index) {
+  contracts::PhaseScope rc_scope(contracts::Phase::exchange,
+                                 static_cast<int>(shard_index));
   for (int li : plan_.shards[shard_index].links) net_.tick_link(li);
 }
 

@@ -1,14 +1,17 @@
 #include "noc/nic.hpp"
 
 #include <cassert>
-#include <stdexcept>
 
 namespace lain::noc {
 
 Nic::Nic(NodeId node, const SimConfig& cfg)
     : node_(node),
       cfg_(cfg),
-      credits_(static_cast<size_t>(cfg.vcs), cfg.vc_depth_flits) {}
+      credits_(static_cast<size_t>(cfg.vcs), cfg.vc_depth_flits) {
+  // The eject channel delivers at most one tail per cycle in steady
+  // state, so a small reservation keeps tick() allocation-free.
+  completions_.reserve(8);
+}
 
 void Nic::connect(FlitChannel* inject_out, CreditChannel* credit_in,
                   FlitChannel* eject_in, CreditChannel* credit_out) {
@@ -39,7 +42,9 @@ void Nic::source_packet(NodeId dst, Cycle now, PacketId id) {
   }
 }
 
-void Nic::tick(Cycle now) {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Nic::tick(Cycle now) {
+  rc_check_mutation("Nic::tick");
+  LAIN_SHARD_PHASE(component);
   // Idle fast path: nothing queued, no completions from last cycle to
   // clear, and nothing in the inbound pipes.  Probing only the
   // consumer side of the channels (see Channel::consumer_pending)
@@ -67,6 +72,8 @@ void Nic::tick(Cycle now) {
     ++flits_ejected_;
     if (f->is_tail()) {
       ++packets_ejected_;
+      // LAIN_LINT_ALLOW(no-alloc): capacity reserved in the
+      // constructor; steady state sees at most one tail per cycle.
       completions_.push_back(Ejection{f->packet, f->src, f->created,
                                       f->injected, now, f->hops});
     }
@@ -91,7 +98,9 @@ void Nic::tick(Cycle now) {
     open_vc_ = vc;
   } else {
     vc = open_vc_;
-    if (vc < 0) throw std::logic_error("body flit without open VC");
+    // A body flit with no open VC means packet segmentation broke —
+    // an internal invariant, not a runtime condition (PR 5).
+    assert(vc >= 0 && "body flit without open VC");
     if (credits_[static_cast<size_t>(vc)] <= 0) return;  // stall
   }
   f.vc = vc;

@@ -13,6 +13,7 @@
 
 #include <deque>
 
+#include "core/contracts.hpp"
 #include "noc/channel.hpp"
 #include "noc/config.hpp"
 #include "noc/stats.hpp"
@@ -53,7 +54,27 @@ class Nic {
   // Completions observed this tick (cleared on the next tick).
   const std::vector<Ejection>& completions() const { return completions_; }
 
+#if LAIN_RACECHECK
+  // Tags this NIC with its owning shard from the PartitionPlan.
+  void rc_set_owner(int shard) {
+    rc_tag_.kind = "nic";
+    rc_tag_.tile = static_cast<int>(node_);
+    rc_tag_.owner_shard = shard;
+  }
+#else
+  void rc_set_owner(int) {}
+#endif
+
  private:
+#if LAIN_RACECHECK
+  void rc_check_mutation(const char* op) const {
+    contracts::check_component_mutation(rc_tag_, op);
+  }
+  contracts::OwnerTag rc_tag_;
+#else
+  void rc_check_mutation(const char*) const {}
+#endif
+
   NodeId node_;
   SimConfig cfg_;
   std::deque<Flit> queue_;  // flit-segmented source queue

@@ -25,7 +25,8 @@ PartitionPlan from_assignment(const Network& net, PartitionStrategy strategy,
     plan.shards[static_cast<std::size_t>(s)].nodes.push_back(n);
   }
   for (int li = 0; li < net.num_links(); ++li) {
-    const int owner = plan.shard_of[static_cast<std::size_t>(net.link_owner(li))];
+    const int owner =
+        plan.shard_of[static_cast<std::size_t>(net.link_owner(li))];
     ShardPlan& sh = plan.shards[static_cast<std::size_t>(owner)];
     sh.links.push_back(li);
     if (plan.shard_of[static_cast<std::size_t>(net.link_source(li))] != owner) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace lain::noc {
 
 int ShardedSimulation::auto_shards(const SimConfig& cfg, int requested) {
@@ -66,7 +68,8 @@ void ShardedSimulation::stop_workers() {
   stop_requested_ = false;
 }
 
-void ShardedSimulation::run_phase(std::size_t shard_index, bool components) {
+LAIN_HOT_PATH void ShardedSimulation::run_phase(std::size_t shard_index,
+                                                bool components) {
   if (errors_[shard_index]) return;  // poisoned shard: keep in lockstep only
   try {
     if (components) {
@@ -79,7 +82,7 @@ void ShardedSimulation::run_phase(std::size_t shard_index, bool components) {
   }
 }
 
-void ShardedSimulation::worker_loop(std::size_t shard_index) {
+LAIN_HOT_PATH void ShardedSimulation::worker_loop(std::size_t shard_index) {
   for (;;) {
     start_barrier_->arrive_and_wait();
     if (stop_requested_) return;
@@ -96,7 +99,7 @@ void ShardedSimulation::rethrow_any_error() {
   }
 }
 
-void ShardedSimulation::step() {
+LAIN_HOT_PATH void ShardedSimulation::step() {
   if (shards_.size() == 1) {
     step_shard_components(0);
     step_shard_channels(0);

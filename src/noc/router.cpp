@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
 
 namespace lain::noc {
 namespace {
@@ -57,7 +56,7 @@ void Router::connect_output(Dir d, FlitChannel* flits_out,
   in_credits_.at(static_cast<size_t>(port(d))) = credits_in;
 }
 
-bool Router::quiescent() const {
+LAIN_HOT_PATH LAIN_NO_ALLOC bool Router::quiescent() const {
   if (buffered_flits_ != 0 || owned_out_vcs_ != 0) return false;
   for (int p = 0; p < kNumPorts; ++p) {
     const FlitChannel* fc = in_flits_[static_cast<size_t>(p)];
@@ -68,7 +67,9 @@ bool Router::quiescent() const {
   return true;
 }
 
-void Router::tick_idle() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::tick_idle() {
+  rc_check_mutation("Router::tick_idle");
+  LAIN_SHARD_PHASE(component);
   assert(quiescent());
   // The collapsed cycle: no stage can act, but the per-cycle
   // bookkeeping every consumer depends on — event counters, the
@@ -80,7 +81,7 @@ void Router::tick_idle() {
   if (power_hook_ != nullptr) power_hook_->on_cycle(events_);
 }
 
-void Router::receive() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::receive() {
   for (int p = 0; p < kNumPorts; ++p) {
     FlitChannel* ch = in_flits_[static_cast<size_t>(p)];
     if (ch == nullptr) continue;
@@ -111,15 +112,15 @@ void Router::receive() {
   }
 }
 
-void Router::route_compute() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::route_compute() {
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
       VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
       if (vcb.state != VcState::kRouting || vcb.empty()) continue;
       const Flit& head = vcb.front();
-      if (!head.is_head()) {
-        throw std::logic_error("non-head flit at routing VC head");
-      }
+      // A non-head flit here means VC state tracking broke upstream —
+      // an internal invariant, not a runtime condition (PR 5).
+      assert(head.is_head() && "non-head flit at routing VC head");
       vcb.out_port = port(route_xy(id_, head.dst, ctx_));
       vcb.state = VcState::kWaitingVc;
     }
@@ -140,7 +141,7 @@ bool Router::vc_admissible(int in_port, int in_vc, int out_port,
   return vc_class_of(out_vc, cfg_.vcs) == next_class;
 }
 
-void Router::vc_allocate() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::vc_allocate() {
   // Pre-scan: most cycles no VC is waiting for an output VC, and the
   // request matrix need not be touched at all.
   bool any_waiting = false;
@@ -187,7 +188,7 @@ void Router::vc_allocate() {
   }
 }
 
-void Router::switch_traverse() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::switch_traverse() {
   // Pick one candidate VC per input port, then allocate ports.
   chosen_vc_.fill(-1);
   std::fill(sa_req_.begin(), sa_req_.end(), 0);
@@ -203,7 +204,8 @@ void Router::switch_traverse() {
     }
     if (!any) continue;
     demand = true;
-    const int v = sa_vc_pick_[static_cast<size_t>(p)].arbitrate(sa_cand_.data());
+    const int v =
+        sa_vc_pick_[static_cast<size_t>(p)].arbitrate(sa_cand_.data());
     chosen_vc_[static_cast<size_t>(p)] = v;
     const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
     sa_req_[static_cast<size_t>(p * kNumPorts + vcb.out_port)] = 1;
@@ -255,7 +257,9 @@ void Router::switch_traverse() {
   activity_.record(traversed);
 }
 
-void Router::tick() {
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::tick() {
+  rc_check_mutation("Router::tick");
+  LAIN_SHARD_PHASE(component);
   events_ = RouterEvents{};
   receive();
   route_compute();

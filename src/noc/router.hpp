@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "noc/allocator.hpp"
 #include "noc/buffer.hpp"
 #include "noc/channel.hpp"
@@ -107,7 +108,28 @@ class Router {
   // incrementally; O(1)).
   int occupancy() const { return buffered_flits_; }
 
+#if LAIN_RACECHECK
+  // Tags this router with its owning shard from the PartitionPlan;
+  // tick()/tick_idle() then abort if any other shard (or the exchange
+  // phase) mutates it.
+  void rc_set_owner(int shard) {
+    rc_tag_.kind = "router";
+    rc_tag_.tile = static_cast<int>(id_);
+    rc_tag_.owner_shard = shard;
+  }
+#else
+  void rc_set_owner(int) {}
+#endif
+
  private:
+#if LAIN_RACECHECK
+  void rc_check_mutation(const char* op) const {
+    contracts::check_component_mutation(rc_tag_, op);
+  }
+#else
+  void rc_check_mutation(const char*) const {}
+#endif
+
   void receive();
   void route_compute();
   void vc_allocate();
@@ -151,6 +173,9 @@ class Router {
   PowerHook* power_hook_ = nullptr;
   RouterEvents events_;
   CrossbarActivity activity_;
+#if LAIN_RACECHECK
+  contracts::OwnerTag rc_tag_;
+#endif
 };
 
 }  // namespace lain::noc

@@ -28,8 +28,10 @@ void Network::wire_mesh() {
   // Local port: NIC <-> router, latency 1.  Both endpoints are the
   // same node, so these links never cross a shard boundary.
   for (NodeId i = 0; i < cfg_.num_nodes(); ++i) {
-    Link* inj = make_link(1, i, i);  // NIC -> router (flits), router -> NIC credits
-    Link* ej = make_link(1, i, i);   // router -> NIC (flits), NIC -> router credits
+    // inj: NIC -> router flits, router -> NIC credits.
+    // ej:  router -> NIC flits, NIC -> router credits.
+    Link* inj = make_link(1, i, i);
+    Link* ej = make_link(1, i, i);
     routers_[static_cast<size_t>(i)]->connect_input(Dir::kLocal, &inj->flits,
                                                     &inj->credits);
     routers_[static_cast<size_t>(i)]->connect_output(Dir::kLocal, &ej->flits,
@@ -83,6 +85,27 @@ void Network::wire_mesh() {
 void Network::tick_channels() {
   for (int i = 0; i < num_links(); ++i) tick_link(i);
 }
+
+#if LAIN_RACECHECK
+void Network::rc_tag_shards(const std::vector<int>& shard_of) {
+  auto shard = [&](NodeId n) { return shard_of.at(static_cast<size_t>(n)); };
+  for (NodeId n = 0; n < cfg_.num_nodes(); ++n) {
+    routers_[static_cast<size_t>(n)]->rc_set_owner(shard(n));
+    nics_[static_cast<size_t>(n)]->rc_set_owner(shard(n));
+  }
+  for (int i = 0; i < num_links(); ++i) {
+    const int src = shard(link_source(i));
+    const int own = shard(link_owner(i));
+    Link& l = *links_[static_cast<size_t>(i)];
+    l.flits.rc_set_owners(src, own, own, static_cast<int>(link_owner(i)),
+                          "flit channel");
+    l.credits.rc_set_owners(own, src, own, static_cast<int>(link_owner(i)),
+                            "credit channel");
+  }
+}
+#else
+void Network::rc_tag_shards(const std::vector<int>&) {}
+#endif
 
 int Network::flits_in_flight() const {
   int n = 0;

@@ -30,7 +30,7 @@ class Network {
   // Per-link advance for sharded kernels: the exchange phase ticks
   // each link exactly once, from the shard owning link_owner(i).
   int num_links() const { return static_cast<int>(links_.size()); }
-  void tick_link(int i) {
+  LAIN_HOT_PATH LAIN_NO_ALLOC void tick_link(int i) {
     Link& l = *links_[static_cast<size_t>(i)];
     l.flits.tick();
     l.credits.tick();
@@ -54,6 +54,14 @@ class Network {
   int flits_in_flight() const;
 
   const SimConfig& config() const { return cfg_; }
+
+  // Racecheck tagging: stamps every router, NIC and channel with its
+  // owning shard from a node->shard map (PartitionPlan::shard_of).
+  // Flit channels are produced by the link source and consumed/ticked
+  // by the link owner; credit channels flow the opposite way (the
+  // owner produces, the source consumes) but are still ticked by the
+  // owner's shard.  No-op unless built with LAIN_RACECHECK.
+  void rc_tag_shards(const std::vector<int>& shard_of);
 
  private:
   struct Link {

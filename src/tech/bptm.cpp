@@ -9,7 +9,8 @@ namespace lain::tech {
 
 double wire_resistance_per_m(const WireGeometry& g) {
   if (g.width_m <= 0.0 || g.thickness_m <= 0.0) {
-    throw std::invalid_argument("wire geometry must have positive width/thickness");
+    throw std::invalid_argument(
+        "wire geometry must have positive width/thickness");
   }
   return g.rho_ohm_m / (g.width_m * g.thickness_m);
 }

@@ -29,7 +29,7 @@ struct WireGeometry {
   double thickness_m = 0.0;   // metal thickness (width * aspect ratio)
   double ild_thickness_m = 0.0;  // dielectric height to the plane below
   double k_ild = 0.0;         // relative permittivity of the ILD
-  double rho_ohm_m = 0.0;     // effective resistivity (incl. barrier/scattering)
+  double rho_ohm_m = 0.0;     // effective resistivity (barrier/scattering)
 
   constexpr double pitch_m() const { return width_m + spacing_m; }
   constexpr double aspect_ratio() const { return thickness_m / width_m; }

@@ -94,7 +94,9 @@ DeviceModel::DeviceModel(const TechNode& node, double temp_k,
       nmos_high_(make_nmos_45(VtClass::kHigh)),
       pmos_nominal_(make_pmos_45(VtClass::kNominal)),
       pmos_high_(make_pmos_45(VtClass::kHigh)) {
-  if (temp_k <= 0.0) throw std::invalid_argument("temperature must be positive");
+  if (temp_k <= 0.0) {
+    throw std::invalid_argument("temperature must be positive");
+  }
   scale_for_node(nmos_nominal_, node);
   scale_for_node(nmos_high_, node);
   scale_for_node(pmos_nominal_, node);

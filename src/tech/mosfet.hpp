@@ -44,7 +44,8 @@ struct DeviceParams {
   double vth0_v = 0.0;       // saturated threshold at Vds=Vdd, 300 K
   double dibl = 0.0;         // V of Vth drop per V of Vds
   double n_sub = 0.0;        // subthreshold ideality (swing = n*vT*ln10)
-  double vth_tc = 0.0;       // Vth temperature coefficient (V/K, >0 means Vth falls)
+  double vth_tc = 0.0;       // Vth temperature coefficient
+                             // (V/K, >0 means Vth falls)
   double i0_sub = 0.0;       // subthreshold prefactor (A / (m * V^2))
   double k_ion = 0.0;        // alpha-power transconductance (A / (m * V^alpha))
   double alpha = 0.0;        // velocity-saturation exponent

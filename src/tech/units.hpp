@@ -13,6 +13,10 @@
 
 namespace lain::units {
 
+// The one-liner-per-unit table below is deliberately kept on single
+// lines so the scale factors align and typos jump out.
+// clang-format off
+
 // --- length -----------------------------------------------------------
 constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
 constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
@@ -62,6 +66,8 @@ constexpr double operator""_GHz(long double v) { return static_cast<double>(v) *
 constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
 constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
 constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+
+// clang-format on
 
 }  // namespace lain::units
 

@@ -97,7 +97,9 @@ CellHandles add_mux_cell(Netlist& nl, const CrossbarSpec& spec,
                          const std::string& suffix, NodeId out_node,
                          bool tri_state) {
   if (n_pass < 1) throw std::invalid_argument("cell needs >= 1 pass device");
-  if (drive_scale <= 0.0) throw std::invalid_argument("drive_scale must be > 0");
+  if (drive_scale <= 0.0) {
+    throw std::invalid_argument("drive_scale must be > 0");
+  }
   const DeviceSizing& sz = spec.sizing;
   CellHandles c;
 
@@ -125,7 +127,8 @@ CellHandles add_mux_cell(Netlist& nl, const CrossbarSpec& spec,
   }
 
   c.sleep = nl.add_device(
-      "N_sleep" + suffix, Mosfet{DeviceType::kNmos, vt.sleep_n, sz.sleep_width_m},
+      "N_sleep" + suffix,
+      Mosfet{DeviceType::kNmos, vt.sleep_n, sz.sleep_width_m},
       DeviceRole::kSleep, sleep_signal, c.node_a, nl.gnd());
 
   // Driver chain I1 -> I2 (Fig 1).
@@ -248,12 +251,14 @@ OutputSlice build_segmented_slice(const CrossbarSpec& spec, Scheme scheme,
     s.tg_enables_b.push_back(en_b);
     s.segment_tgs.push_back(s.nl.add_device(
         "TG_n",
-        Mosfet{DeviceType::kNmos, base_vt.segment_tg, sz.segment_switch_width_m},
+        Mosfet{DeviceType::kNmos, base_vt.segment_tg,
+               sz.segment_switch_width_m},
         DeviceRole::kSegmentSwitch, en, s.segment_nodes[0],
         s.segment_nodes[1]));
     s.segment_tgs.push_back(s.nl.add_device(
         "TG_p",
-        Mosfet{DeviceType::kPmos, base_vt.segment_tg, sz.segment_switch_width_m},
+        Mosfet{DeviceType::kPmos, base_vt.segment_tg,
+               sz.segment_switch_width_m},
         DeviceRole::kSegmentSwitch, en_b, s.segment_nodes[0],
         s.segment_nodes[1]));
   }

@@ -102,7 +102,7 @@ struct InputCell {
   circuit::Netlist nl;
   circuit::NodeId precharge_signal = circuit::kNoNode;  // SDPC rows only
   circuit::NodeId data_in = circuit::kNoNode;  // driver input
-  circuit::NodeId wire = circuit::kNoNode;     // driven row wire (first segment)
+  circuit::NodeId wire = circuit::kNoNode;     // first driven row segment
   circuit::DeviceId drv_n = -1, drv_p = -1;
   std::vector<circuit::DeviceId> segment_tgs;
   std::vector<circuit::NodeId> segment_nodes;

@@ -279,7 +279,8 @@ DelayPair compute_delay(const Ctx& c, Scheme scheme) {
                   1.0, 1.0});
     // Segmented drivers are tri-stated: the 2x-width enable device adds
     // half the driver's resistance in series.
-    const double r_i2n = c.model.eff_resistance_ohm(i2n) * (segmented ? 4.0 / 3.0 : 1.0);
+    const double r_i2n =
+        c.model.eff_resistance_ohm(i2n) * (segmented ? 4.0 / 3.0 : 1.0);
     st.push_back({"i2_fall", r_i2n, 0.0, &tree_out, out_target, 1.0, 1.0});
     d.hl_s = circuit::path_delay_s(st) * kDelayFit;
   }
@@ -317,7 +318,8 @@ DelayPair compute_delay(const Ctx& c, Scheme scheme) {
                   0, 1.0, rise_crossing_factor(v_deg, vm_i1)});
     st.push_back({"i1_fall", c.model.eff_resistance_ohm(i1n), c_b, nullptr, 0,
                   1.0, 1.0});
-    const double r_i2p = c.model.eff_resistance_ohm(i2p) * (segmented ? 4.0 / 3.0 : 1.0);
+    const double r_i2p =
+        c.model.eff_resistance_ohm(i2p) * (segmented ? 4.0 / 3.0 : 1.0);
     st.push_back({"i2_rise", r_i2p, 0.0, &tree_out, out_target, 1.0, 1.0});
     d.lh_s = circuit::path_delay_s(st) * kDelayFit;
   }

@@ -68,7 +68,9 @@ inline void CrossbarSpec::validate() const {
   if (static_probability < 0.0 || static_probability > 1.0) {
     throw std::invalid_argument("static probability must be in [0,1]");
   }
-  if (temp_k <= 0.0) throw std::invalid_argument("temperature must be positive");
+  if (temp_k <= 0.0) {
+    throw std::invalid_argument("temperature must be positive");
+  }
   const double* widths[] = {
       &sizing.pass_width_m,   &sizing.drv1_wn_m,       &sizing.drv1_wp_m,
       &sizing.drv2_wn_m,      &sizing.drv2_wp_m,       &sizing.keeper_width_m,
@@ -77,7 +79,9 @@ inline void CrossbarSpec::validate() const {
       &sizing.input_drv_wn_m, &sizing.input_drv_wp_m,
       &sizing.segment_switch_width_m};
   for (const double* w : widths) {
-    if (*w <= 0.0) throw std::invalid_argument("device widths must be positive");
+    if (*w <= 0.0) {
+      throw std::invalid_argument("device widths must be positive");
+    }
   }
 }
 

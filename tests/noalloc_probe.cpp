@@ -6,12 +6,16 @@
 //
 //   (a) on the idle fast path (quiescent routers, tick_idle),
 //   (b) on the full pipeline with nothing to do (forced slow path),
-//   (c) on the full pipeline under saturation (RC/VA/SA/ST all busy).
+//   (c) on the full pipeline under saturation (RC/VA/SA/ST all busy),
+//   (d) on the NIC tick in steady state (completion vector capacity
+//       is reserved up front; packet sourcing, which legitimately
+//       grows the source queue, stays outside the measured region),
+//   (e) on the channel exchange phase (fixed-ring pipes; the whole
+//       tick_channels sweep must not touch the heap).
 //
-// The NIC/channel phases run outside the measured region (the NIC's
-// unbounded source queue may legitimately grow).  Everything here is
-// single-threaded and deterministic, so a pass is a proof, not a
-// sample.  Registered as the `noalloc_router_hot_path` CTest.
+// Everything here is single-threaded and deterministic, so a pass is
+// a proof, not a sample.  Registered as the `noalloc_router_hot_path`
+// CTest.
 
 #include <cstdint>
 #include <cstdio>
@@ -71,11 +75,13 @@ void probe_idle() {
   check("full pipeline, quiescent fabric (tick)", g_allocs - before, kCycles);
 }
 
-// (c): a 3x3 mesh held at injection-limited saturation with a fixed
-// neighbour-offset pattern (no RNG) — every stage of every router is
-// exercised every cycle.  Warmup lets one-time growth (NIC completion
-// vectors, idle-run histogram bins) reach steady state; after it, the
-// router region must be allocation-free.
+// (c)+(d)+(e): a 3x3 mesh held at injection-limited saturation with a
+// fixed neighbour-offset pattern (no RNG) — every stage of every
+// router is exercised every cycle.  Warmup lets one-time growth (NIC
+// completion vectors, idle-run histogram bins) reach steady state;
+// after it, the router-tick, NIC-tick and channel-exchange regions
+// must each be allocation-free.  Packet sourcing (which grows the
+// source queue) stays outside all three measured regions.
 void probe_saturated() {
   SimConfig cfg;
   cfg.radix_x = 3;
@@ -85,6 +91,8 @@ void probe_saturated() {
   const int kWarmup = 4000;
   const int kMeasure = 2000;
   std::int64_t router_allocs = 0;
+  std::int64_t nic_allocs = 0;
+  std::int64_t channel_allocs = 0;
   std::int64_t traversals = 0;
   for (int t = 0; t < kWarmup + kMeasure; ++t) {
     for (NodeId node = 0; node < net.num_nodes(); ++node) {
@@ -92,9 +100,13 @@ void probe_saturated() {
       if (nic.source_queue_flits() < cfg.packet_length_flits) {
         nic.source_packet((node + 4) % 9, t, ++id);
       }
-      nic.tick(t);
     }
-    const std::int64_t before = g_allocs;
+    std::int64_t before = g_allocs;
+    for (NodeId node = 0; node < net.num_nodes(); ++node) {
+      net.nic(node).tick(t);
+    }
+    if (t >= kWarmup) nic_allocs += g_allocs - before;
+    before = g_allocs;
     for (NodeId node = 0; node < net.num_nodes(); ++node) {
       net.router(node).tick();
     }
@@ -104,9 +116,13 @@ void probe_saturated() {
         traversals += net.router(node).last_events().flits_sent;
       }
     }
+    before = g_allocs;
     net.tick_channels();
+    if (t >= kWarmup) channel_allocs += g_allocs - before;
   }
   check("full pipeline, saturated 3x3 mesh (tick)", router_allocs, kMeasure);
+  check("NIC tick, saturated 3x3 mesh", nic_allocs, kMeasure);
+  check("channel exchange, saturated 3x3 mesh", channel_allocs, kMeasure);
   // Sanity: the measured region really was busy.
   if (traversals < kMeasure * 4) {
     std::printf("probe error: fabric was not saturated (%lld traversals)\n",
@@ -121,10 +137,10 @@ int main() {
   probe_idle();
   probe_saturated();
   if (failures) {
-    std::printf("%d probe(s) FAILED: the router hot path allocated\n",
+    std::printf("%d probe(s) FAILED: a LAIN_NO_ALLOC region allocated\n",
                 failures);
     return 1;
   }
-  std::printf("router hot path is allocation-free\n");
+  std::printf("router, NIC and channel hot paths are allocation-free\n");
   return 0;
 }

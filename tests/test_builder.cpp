@@ -35,7 +35,8 @@ TEST(Builder, ScSliceMatchesFig1AllNominal) {
 TEST(Builder, DfcStaggeredAssignment) {
   const OutputSlice s = build_dfc_slice(table1_spec());
   // Same circuit as SC...
-  EXPECT_EQ(s.nl.device_count(), build_sc_slice(table1_spec()).nl.device_count());
+  EXPECT_EQ(s.nl.device_count(),
+            build_sc_slice(table1_spec()).nl.device_count());
   // ...with the keeper, I1's NMOS and N5 high-Vt.
   EXPECT_EQ(s.nl.count_devices(DeviceRole::kKeeper, VtClass::kHigh), 1u);
   EXPECT_EQ(s.nl.count_devices(DeviceRole::kSleep, VtClass::kHigh), 1u);

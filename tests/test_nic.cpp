@@ -71,8 +71,14 @@ TEST(Nic, StallsWithoutCredits) {
   cfg.vc_depth_flits = 2;
   Harness h(cfg);
   h.nic.source_packet(5, 0, 1);
-  // Only 2 credits: after 2 flits the NIC must stall.
-  for (Cycle t = 0; t < 10; ++t) h.tick_all(t);
+  // Only 2 credits: after 2 flits the NIC must stall.  Drain the
+  // injection pipe as a router would — channels are fixed rings
+  // sized for consumers that collect arrived items every cycle.
+  for (Cycle t = 0; t < 10; ++t) {
+    h.tick_all(t);
+    while (h.inj.receive()) {
+    }
+  }
   EXPECT_EQ(h.nic.flits_injected(), 2);
   EXPECT_EQ(h.nic.source_queue_flits(), 2);
   // Returning credits unblocks it.

@@ -106,12 +106,12 @@ TEST_P(RouteConvergence, ReachesDestinationShortest) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Topologies, RouteConvergence,
-                         ::testing::Values(RouteCase{TopologyKind::kMesh, 5, 5},
-                                           RouteCase{TopologyKind::kMesh, 3, 7},
-                                           RouteCase{TopologyKind::kTorus, 4, 4},
-                                           RouteCase{TopologyKind::kTorus, 6,
-                                                     3}));
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, RouteConvergence,
+    ::testing::Values(RouteCase{TopologyKind::kMesh, 5, 5},
+                      RouteCase{TopologyKind::kMesh, 3, 7},
+                      RouteCase{TopologyKind::kTorus, 4, 4},
+                      RouteCase{TopologyKind::kTorus, 6, 3}));
 
 TEST(Dir, OppositeAndNames) {
   EXPECT_EQ(opposite(Dir::kNorth), Dir::kSouth);

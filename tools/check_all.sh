@@ -1,0 +1,47 @@
+#!/bin/sh
+# check_all.sh — configure + build + lint/tidy/format + tests in one
+# command, exiting nonzero on any finding.  Suitable as a pre-push
+# hook and as a CI entrypoint.
+#
+# Default: the `release` preset — fast + smoke + perf tests plus the
+# whole static-analysis gate (lint_lain, lint_tidy, format_check).
+# Pass preset names to run more of the matrix, or `matrix` for all of
+# it (roughly an hour of wall clock on one core):
+#
+#   tools/check_all.sh                    # release: tests + lint gate
+#   tools/check_all.sh release racecheck  # plus the race detector
+#   tools/check_all.sh matrix             # every gating preset
+#
+# Presets: release debug asan tsan ubsan racecheck.  tsan is skipped
+# gracefully when the toolchain lacks libtsan; any other failure
+# stops the run.
+set -e
+
+cd "$(dirname "$0")/.."
+
+PRESETS="${*:-release}"
+if [ "$PRESETS" = matrix ]; then
+  PRESETS="release debug asan tsan ubsan racecheck"
+fi
+
+for preset in $PRESETS; do
+  echo "==== preset: $preset ===================================="
+  if ! cmake --preset "$preset"; then
+    echo "check_all: configure failed for $preset" >&2
+    exit 1
+  fi
+  if ! cmake --build --preset "$preset" -j "$(nproc)"; then
+    if [ "$preset" = tsan ]; then
+      echo "check_all: SKIP tsan (toolchain cannot build it)" >&2
+      continue
+    fi
+    echo "check_all: build failed for $preset" >&2
+    exit 1
+  fi
+  case $preset in
+    release) ctest --preset all ;;  # fast+smoke+perf+lint, no filter
+    *) ctest --preset "$preset" ;;
+  esac
+done
+
+echo "check_all: all presets green"

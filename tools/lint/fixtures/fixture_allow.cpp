@@ -1,0 +1,16 @@
+// The escape hatch: every seeded violation here carries a
+// LAIN_LINT_ALLOW comment, so lain_lint.py --self-test asserts this
+// file lints clean.
+#include <vector>
+
+#define LAIN_NO_ALLOC
+#define LAIN_HOT_PATH
+
+LAIN_NO_ALLOC int hot_sum(std::vector<int>& v) {
+  // LAIN_LINT_ALLOW(no-alloc): capacity reserved by the caller
+  v.push_back(1);
+  return v.back();
+}
+
+// LAIN_LINT_ALLOW(mutable-global): fixture for the suppression path
+int suppressed_counter = 0;

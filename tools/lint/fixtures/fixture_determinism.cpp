@@ -1,0 +1,13 @@
+// Seeded violation: libc rand() and a wall-clock read outside
+// src/noc/rng.hpp.  Never compiled — lain_lint.py --self-test asserts
+// the determinism rule reports both.
+#include <chrono>
+#include <cstdlib>
+
+int roll_die() { return std::rand() % 6; }
+
+double now_ms() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,5 @@
+int main() {
+	int x = 1;   
+  const char* s = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+  return x + (s != 0);
+}

@@ -1,0 +1,11 @@
+// Seeded violation: mutable namespace-scope state outside
+// LainContext.  Never compiled — lain_lint.py --self-test asserts the
+// mutable-global rule reports it.
+
+int global_hit_counter = 0;
+
+namespace fixture {
+long total_cycles;
+constexpr int kFine = 3;          // constexpr: allowed
+const char* const kAlsoFine = ""; // const: allowed
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation: container growth + raw allocation inside a
+// LAIN_NO_ALLOC extent.  Never compiled — lain_lint.py --self-test
+// asserts the no-alloc rule reports both.
+#include <vector>
+
+#define LAIN_NO_ALLOC
+#define LAIN_HOT_PATH
+
+LAIN_NO_ALLOC int hot_sum(std::vector<int>& v) {
+  v.push_back(1);
+  int* scratch = new int(3);
+  const int s = *scratch + v.back();
+  delete scratch;
+  return s;
+}
+
+int cold_sum(std::vector<int>& v) {
+  v.push_back(2);  // unmarked function: growth is fine here
+  return v.back();
+}

@@ -1,0 +1,18 @@
+// Seeded violation: `throw` inside a LAIN_HOT_PATH extent (hot-path
+// flow-control checks must be asserts).  Never compiled —
+// lain_lint.py --self-test asserts the hot-throw rule reports it.
+#include <stdexcept>
+
+#define LAIN_HOT_PATH
+
+LAIN_HOT_PATH int pick(int x) {
+  if (x < 0) throw std::invalid_argument("negative");
+  return x;
+}
+
+int validate(int x) {
+  // Unmarked (cold) function: constructor-style validation throws
+  // are legal.
+  if (x < 0) throw std::invalid_argument("negative");
+  return x;
+}

@@ -1,0 +1,17 @@
+// Seeded violation: an override-less virtual — flagged by clang-tidy
+// (modernize-use-override) and by the GCC fallback
+// (-Wsuggest-override) alike, so lain_tidy.py --self-test proves
+// whichever backend is active actually fires.
+
+class Base {
+ public:
+  virtual ~Base() = default;
+  virtual int value() const { return 0; }
+};
+
+class Derived : public Base {
+ public:
+  int value() const { return 1; }  // missing `override`
+};
+
+int probe(const Base& b) { return b.value(); }

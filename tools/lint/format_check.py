@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""format_check — the formatting gate over src/ tests/ bench/ examples/.
+
+With clang-format on PATH, runs `clang-format -n --Werror` with the
+checked-in .clang-format.  Without it, enforces the mechanical subset
+that never needs a formatter to agree on:
+
+  - no trailing whitespace
+  - no tab characters
+  - no CRLF line endings
+  - file ends with exactly one newline
+  - lines fit in 80 columns, except inside
+    `// clang-format off` ... `// clang-format on` regions (used for
+    hand-aligned tables, e.g. the unit-literal operators in
+    src/tech/units.hpp)
+
+Usage:
+  format_check.py --root <repo>   gate the tree
+  format_check.py --self-test     prove the active backend flags the
+                                  seeded fixture
+"""
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+DIRS = ("src", "tests", "bench", "examples")
+SUFFIXES = (".cpp", ".hpp", ".h", ".cc")
+MAX_COLS = 80
+
+
+def tree_files(root):
+    for d in DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        yield from sorted(p for p in base.rglob("*") if p.suffix in SUFFIXES)
+
+
+def mechanical_check(path):
+    findings = []
+    data = path.read_bytes()
+    if b"\r" in data:
+        findings.append("%s: CRLF line ending" % path)
+    if data and not data.endswith(b"\n"):
+        findings.append("%s: missing final newline" % path)
+    if data.endswith(b"\n\n"):
+        findings.append("%s: trailing blank line(s) at end of file" % path)
+    text = data.decode("utf-8", errors="replace")
+    formatting_off = False
+    for i, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("//") and "clang-format off" in stripped:
+            formatting_off = True
+            continue
+        if stripped.startswith("//") and "clang-format on" in stripped:
+            formatting_off = False
+            continue
+        if line != line.rstrip():
+            findings.append("%s:%d: trailing whitespace" % (path, i))
+        if "\t" in line:
+            findings.append("%s:%d: tab character" % (path, i))
+        if not formatting_off and len(line) > MAX_COLS:
+            findings.append("%s:%d: line exceeds %d columns (%d)" %
+                            (path, i, MAX_COLS, len(line)))
+    return findings
+
+
+def run_clang_format(clang_format, files, root):
+    failures = 0
+    for f in files:
+        r = subprocess.run(
+            [clang_format, "-n", "--Werror",
+             "--style=file:%s" % (root / ".clang-format"), str(f)],
+            capture_output=True, text=True)
+        if r.returncode != 0:
+            failures += 1
+            sys.stderr.write(r.stderr)
+    return failures
+
+
+def self_test():
+    fixture = (Path(__file__).resolve().parent / "fixtures" /
+               "fixture_format.cpp")
+    clang_format = shutil.which("clang-format")
+    if clang_format:
+        root = Path(__file__).resolve().parents[2]
+        r = subprocess.run(
+            [clang_format, "-n", "--Werror",
+             "--style=file:%s" % (root / ".clang-format"), str(fixture)],
+            capture_output=True, text=True)
+        fired = r.returncode != 0
+        backend = "clang-format"
+    else:
+        fired = len(mechanical_check(fixture)) >= 3
+        backend = "mechanical checks"
+    if fired:
+        print("ok: %s flag(s) the seeded drift in %s" %
+              (backend, fixture.name))
+        return 0
+    print("SELF-TEST FAILURE: %s did not flag %s" % (backend, fixture.name),
+          file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.root:
+        ap.error("--root is required (or use --self-test)")
+    root = args.root.resolve()
+    files = list(tree_files(root))
+    clang_format = shutil.which("clang-format")
+    if clang_format:
+        failures = run_clang_format(clang_format, files, root)
+        if failures:
+            print("format_check: %d file(s) need clang-format" % failures,
+                  file=sys.stderr)
+            return 1
+        print("format_check: clean (clang-format, %d files)" % len(files))
+        return 0
+    findings = []
+    for f in files:
+        findings += mechanical_check(f)
+    for f in findings:
+        print(f)
+    if findings:
+        print("format_check: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("format_check: clean (mechanical checks, %d files)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
