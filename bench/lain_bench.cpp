@@ -1,7 +1,8 @@
 // lain_bench — unified experiment CLI over the scenario registry.
 //
 //   lain_bench <subcommand> [--threads N] [--csv | --json] [--out FILE]
-//              [axis flags...]
+//              [--metrics-window N] [--metrics-out FILE] [--progress]
+//              [--trace-flits N] [axis flags...]
 //   lain_bench --list-scenarios
 //   lain_bench <subcommand> --help
 //
@@ -20,6 +21,11 @@
 //   lain_bench injection_sweep --threads 8 --rates 0.05:0.45:0.05
 //       --patterns uniform,transpose,tornado --schemes all --replicates 3
 //   lain_bench mesh_scaling --radices 16,32 --partition rows,blocks2d
+//
+// The universal telemetry flags stream every simulation in the run:
+//   lain_bench injection_sweep --rates 0.10 --metrics-window 500
+//       --metrics-out metrics.jsonl --progress --trace-flits 256
+// See README "Observability" for the JSONL schema.
 
 #include <cstdio>
 #include <exception>

@@ -37,6 +37,7 @@
 #include "core/context.hpp"
 #include "core/experiments.hpp"
 #include "core/reporting.hpp"
+#include "core/telemetry.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/sim.hpp"
 #include "xbar/characterize.hpp"
@@ -239,6 +240,34 @@ std::vector<Bench> make_benches() {
            noc::Simulation sim(cfg);
            for (std::int64_t i = 0; i < n; ++i) sim.step();
            keep(sim.network().flits_in_flight());
+         }});
+  }
+
+  // Telemetry overhead pair: one 8x8-mesh kernel step per op, with the
+  // full telemetry stack engaged (collector attached + 64-cycle
+  // metrics window + windowed per-shard accumulation) vs the same
+  // kernel with telemetry compiled in but left disabled.  The _off
+  // twin is what the perf gate holds near the plain sim_step cost:
+  // hooks must be a predicted branch, not a tax.
+  for (const bool telemetry_on : {true, false}) {
+    benches.push_back(
+        {telemetry_on ? "sim_step_telemetry_on" : "sim_step_telemetry_off",
+         [telemetry_on](std::int64_t n) {
+           noc::SimConfig cfg;
+           cfg.radix_x = 8;
+           cfg.radix_y = 8;
+           cfg.injection_rate = 0.1;
+           cfg.warmup_cycles = 0;
+           cfg.measure_cycles = 1;
+           noc::Simulation sim(cfg);
+           telemetry::Collector collector;
+           if (telemetry_on) {
+             sim.set_telemetry(&collector);
+             sim.set_metrics_window(64);
+           }
+           for (std::int64_t i = 0; i < n; ++i) sim.step();
+           keep(sim.network().flits_in_flight());
+           keep(collector.totals());
          }});
   }
 

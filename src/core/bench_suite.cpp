@@ -64,6 +64,7 @@ ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
         spec.pin_threads = opt.pin_threads;
+        spec.telemetry = opt.telemetry;
         return ctx.run_noc(spec);
       });
 
@@ -122,7 +123,7 @@ ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
         cfg.burst_duty = p.burst_duty;
         cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
         return ctx.idle_histogram(cfg, opt.sim_threads, opt.partition,
-                                  opt.pin_threads);
+                                  opt.pin_threads, opt.telemetry);
       });
 
   const bool show_hotspot = opt.hotspot_fracs.size() > 1;
@@ -193,6 +194,7 @@ ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
         spec.pin_threads = opt.pin_threads;
+        spec.telemetry = opt.telemetry;
         return ctx.run_noc(spec);
       });
 

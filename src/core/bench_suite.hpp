@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/experiments.hpp"
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
 #include "noc/parallel/partition.hpp"
@@ -44,6 +45,11 @@ struct NocSweepOptions {
   int sim_threads = 1;  // per-run kernel threads (see NocRunSpec)
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  // Streaming telemetry for every run in the sweep (the sink must be
+  // thread-safe when the engine runs jobs in parallel; the built-in
+  // JSONL sink is).  Records carry per-run ids, so interleaved
+  // streams demultiplex cleanly.
+  TelemetryOptions telemetry;
 };
 // Columns: pattern scheme rate [hotspot] [duty] [seed] lat thr
 // xbar-mW stby% saved-mW.  Optional axis columns appear only with
@@ -64,6 +70,7 @@ struct IdleHistogramOptions {
   int sim_threads = 1;
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
 // gateable fraction >= 1/2/3.
@@ -84,6 +91,7 @@ struct MeshVsTorusOptions {
   int sim_threads = 1;
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // One row per (pattern, radix, rate): mesh and torus latency,
 // throughput and crossbar power side by side.  The torus has been

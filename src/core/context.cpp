@@ -1,7 +1,9 @@
 #include "core/context.hpp"
 
+#include <optional>
 #include <tuple>
 
+#include "core/metrics.hpp"
 #include "noc/parallel/sharded_sim.hpp"
 
 namespace lain::core {
@@ -46,6 +48,29 @@ std::unique_ptr<noc::SimKernel> make_kernel(const noc::SimConfig& cfg,
   opt.pin_threads = pin_threads;
   opt.budget = budget;
   return std::make_unique<noc::ShardedSimulation>(cfg, opt);
+}
+
+// Attaches the run's telemetry per TelemetryOptions: with a sink, a
+// full MetricsStreamer (manifest + windows + trace + summary); with
+// only a window, the kernel-side window machinery (so observer
+// slices still flush at boundaries).  Returns the streamer so the
+// caller can finish() it.
+std::optional<telemetry::MetricsStreamer> attach_telemetry(
+    noc::SimKernel& kernel, PoweredNoc* power, const noc::SimConfig& cfg,
+    const std::string& scheme, bool gating, const TelemetryOptions& t) {
+  telemetry::StreamOptions opt;
+  opt.window_cycles = t.metrics_window;
+  opt.trace_flits = t.trace_flits;
+  if (t.sink != nullptr) {
+    return std::optional<telemetry::MetricsStreamer>(
+        std::in_place, kernel, power, t.sink, opt,
+        telemetry::make_manifest(cfg, kernel, scheme, gating, opt));
+  }
+  if (t.metrics_window > 0) kernel.set_metrics_window(t.metrics_window);
+  if (t.trace_flits > 0) {
+    kernel.enable_flit_trace(static_cast<std::size_t>(t.trace_flits));
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -109,7 +134,15 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
       default_noc_power(spec.scheme, spec.enable_gating);
   PoweredNoc powered(net, pcfg,
                      characterization(pcfg.xbar_spec, pcfg.scheme));
+  std::optional<telemetry::MetricsStreamer> streamer = attach_telemetry(
+      *kernel, &powered, spec.sim,
+      std::string(xbar::scheme_name(spec.scheme)), spec.enable_gating,
+      spec.telemetry);
   const noc::SimStats stats = kernel->run();
+  if (streamer) {
+    streamer->finish(stats, kernel->saturated(), cache_.lookups(),
+                     cache_.hits());
+  }
 
   NocRunResult r;
   r.scheme = spec.scheme;
@@ -136,10 +169,18 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
 noc::Histogram LainContext::idle_histogram(const noc::SimConfig& cfg,
                                            int sim_threads,
                                            noc::PartitionStrategy partition,
-                                           bool pin_threads) {
+                                           bool pin_threads,
+                                           const TelemetryOptions& telemetry) {
   std::unique_ptr<noc::SimKernel> kernel =
       make_kernel(cfg, sim_threads, partition, pin_threads, &budget_);
-  kernel->run();
+  std::optional<telemetry::MetricsStreamer> streamer = attach_telemetry(
+      *kernel, /*power=*/nullptr, cfg, /*scheme=*/"", /*gating=*/false,
+      telemetry);
+  const noc::SimStats stats = kernel->run();
+  if (streamer) {
+    streamer->finish(stats, kernel->saturated(), cache_.lookups(),
+                     cache_.hits());
+  }
   noc::Network& net = kernel->network();
   noc::Histogram merged;
   for (noc::NodeId n = 0; n < net.num_nodes(); ++n) {

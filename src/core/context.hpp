@@ -113,10 +113,11 @@ class LainContext {
 
   // Merged idle-run histogram of every router crossbar (E9), on the
   // budgeted kernel.  Bit-identical for any thread count / partition.
+  // `telemetry` optionally streams the (unpowered) run's metrics.
   noc::Histogram idle_histogram(
       const noc::SimConfig& cfg, int sim_threads = 1,
       noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto,
-      bool pin_threads = false);
+      bool pin_threads = false, const TelemetryOptions& telemetry = {});
 
  private:
   CharacterizationCache cache_;

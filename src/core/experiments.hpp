@@ -11,6 +11,10 @@
 #include "core/table1.hpp"
 #include "noc/parallel/partition.hpp"
 
+namespace lain::telemetry {
+class MetricsSink;
+}  // namespace lain::telemetry
+
 namespace lain::core {
 
 // Canonical NoC power configuration for a scheme at the Table-1
@@ -52,6 +56,18 @@ struct NocRunResult {
 // to cores.  The stats — and therefore every simulation-derived
 // column — are bit-identical across all of them: threads, partition
 // and pinning change wall clock only.
+// Streaming-telemetry attachment for a run.  With a sink the run
+// emits the full record stream (manifest, windows, flit trace,
+// summary — see core/metrics.hpp); without one a nonzero
+// metrics_window still flushes observer slices at window boundaries.
+// None of it changes the simulation: the stats stay bit-identical
+// with telemetry on, off, or compiled out.
+struct TelemetryOptions {
+  noc::Cycle metrics_window = 0;       // cycles per window; 0 disables
+  std::int64_t trace_flits = 0;        // per-shard trace ring capacity
+  telemetry::MetricsSink* sink = nullptr;  // not owned; may be null
+};
+
 struct NocRunSpec {
   xbar::Scheme scheme = xbar::Scheme::kSC;
   noc::SimConfig sim;
@@ -59,6 +75,7 @@ struct NocRunSpec {
   int sim_threads = 1;
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  TelemetryOptions telemetry;
 };
 
 // Deprecated shim: forwards through LainContext::global().run_noc(),

@@ -66,6 +66,24 @@ double PoweredNoc::crossbar_energy_j() const {
   return e;
 }
 
+double PoweredNoc::buffer_energy_j() const {
+  double e = 0.0;
+  for (const auto& h : hooks_) e += h->power().buffer_energy_j();
+  return e;
+}
+
+double PoweredNoc::arbiter_energy_j() const {
+  double e = 0.0;
+  for (const auto& h : hooks_) e += h->power().arbiter_energy_j();
+  return e;
+}
+
+double PoweredNoc::link_energy_j() const {
+  double e = 0.0;
+  for (const auto& h : hooks_) e += h->power().link_energy_j();
+  return e;
+}
+
 double PoweredNoc::average_power_w() const {
   double p = 0.0;
   for (const auto& h : hooks_) p += h->power().average_power_w();

@@ -64,6 +64,9 @@ class PoweredNoc {
   // Aggregate energy / power over all routers.
   double total_energy_j() const;
   double crossbar_energy_j() const;
+  double buffer_energy_j() const;
+  double arbiter_energy_j() const;
+  double link_energy_j() const;
   double average_power_w() const;
   double crossbar_average_power_w() const;
   // Fabric-wide realized standby saving vs never gating (J).

@@ -7,6 +7,7 @@
 
 #include "core/bench_suite.hpp"
 #include "core/context.hpp"
+#include "core/metrics.hpp"
 #include "core/table1.hpp"
 
 namespace lain::core {
@@ -15,9 +16,10 @@ namespace {
 
 // Universal flags every scenario accepts (parsed by the CLI driver,
 // not by build_scenario_spec — except --threads).
-const std::vector<std::string> kUniversalValueFlags = {"threads", "out"};
+const std::vector<std::string> kUniversalValueFlags = {
+    "threads", "out", "metrics-window", "metrics-out", "trace-flits"};
 const std::vector<std::string> kUniversalSwitchFlags = {"csv", "json",
-                                                        "help"};
+                                                        "progress", "help"};
 
 struct FlagHelp {
   const char* flag;
@@ -38,6 +40,15 @@ const FlagHelp kFlagHelp[] = {
     {"csv", "emit CSV instead of the text table"},
     {"json", "emit a JSON row array"},
     {"out", "write the table to FILE instead of stdout"},
+    {"metrics-window",
+     "stream windowed metrics every N cycles (0 = off; see\n"
+     "                      README \"Observability\" for the JSONL schema)"},
+    {"metrics-out",
+     "write the metrics JSONL stream to FILE ('-' = stdout)"},
+    {"trace-flits",
+     "keep the last N per-flit events per shard and dump them\n"
+     "                      into the metrics stream (0 = off)"},
+    {"progress", "print one stderr line per closed metrics window"},
     {"help", "show this scenario's usage"},
     {"schemes", "e.g. sc,dpc,sdpc or 'all'"},
     {"patterns",
@@ -60,6 +71,8 @@ struct FlagDefault {
 };
 const FlagDefault kFlagDefaults[] = {
     {"threads", "1"},       {"sim-threads", "1"},
+    {"metrics-window", "0"},
+    {"trace-flits", "0"},
     {"partition", "auto"},
     {"schemes", "all"},     {"patterns", "uniform"},
     {"rates", "0.05,0.15,0.30"},
@@ -132,6 +145,16 @@ int single_int(const Scenario& sc, const ArgParser& args,
   return parsed.front();
 }
 
+// The run-level telemetry attachment a spec asks for (sink installed
+// by the CLI driver or a library caller).
+TelemetryOptions telemetry_options(const ScenarioSpec& s) {
+  TelemetryOptions t;
+  t.metrics_window = s.metrics_window;
+  t.trace_flits = s.trace_flits;
+  t.sink = s.metrics;
+  return t;
+}
+
 NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
   NocSweepOptions opt;
   opt.schemes = s.schemes;
@@ -145,6 +168,7 @@ NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
   opt.sim_threads = s.sim_threads;
   opt.partition = s.partition;
   opt.pin_threads = s.pin_threads;
+  opt.telemetry = telemetry_options(s);
   return opt;
 }
 
@@ -200,6 +224,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.sim_threads = s.sim_threads;
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
+      opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = idle_histogram(ctx, opt, engine);
       return r;
@@ -293,6 +318,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.sim_threads = s.sim_threads;
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
+      opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = mesh_vs_torus(ctx, opt, engine);
       return r;
@@ -524,6 +550,22 @@ ScenarioSpec build_scenario_spec(const Scenario& sc, const ArgParser& args) {
   };
 
   s.threads = single_int(sc, args, "threads");
+  // Universal streaming-telemetry flags (every scenario accepts them;
+  // scenarios without a cycle-accurate simulation just ignore them).
+  {
+    const int window = single_int(sc, args, "metrics-window");
+    if (window < 0) {
+      throw std::invalid_argument("--metrics-window must be >= 0");
+    }
+    s.metrics_window = static_cast<noc::Cycle>(window);
+    const int trace = single_int(sc, args, "trace-flits");
+    if (trace < 0) {
+      throw std::invalid_argument("--trace-flits must be >= 0");
+    }
+    s.trace_flits = trace;
+    s.metrics_out = args.get("metrics-out", "");
+  }
+  s.progress = args.has("progress");
   if (accepts("sim-threads")) {
     if (sc.sim_threads_as_list) {
       s.sim_thread_list = parse_flag("sim-threads",
@@ -644,6 +686,27 @@ int run_scenario_cli(const ScenarioRegistry& registry,
                  e.what(), registry.usage_for(scenario).c_str());
     return 2;
   }
+
+  // CLI-side metrics sinks.  Built before (and alive across) the
+  // scenario run; MultiSink fans one run's records out to both
+  // emitters when asked for.  A library caller installing its own
+  // spec.metrics keeps it: the CLI sinks are only added alongside.
+  std::unique_ptr<telemetry::JsonlSink> jsonl_sink;
+  telemetry::ProgressSink progress_sink;
+  telemetry::MultiSink multi_sink;
+  try {
+    if (spec.metrics != nullptr) multi_sink.add(spec.metrics);
+    if (!spec.metrics_out.empty()) {
+      jsonl_sink = std::make_unique<telemetry::JsonlSink>(spec.metrics_out);
+      multi_sink.add(jsonl_sink.get());
+    }
+    if (spec.progress) multi_sink.add(&progress_sink);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lain_bench %s: %s\n", scenario.name.c_str(),
+                 e.what());
+    return 2;
+  }
+  if (multi_sink.size() > 0) spec.metrics = &multi_sink;
 
   ContextOptions copt;
   copt.thread_budget = recommended_thread_budget(spec);

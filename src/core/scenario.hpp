@@ -27,6 +27,10 @@
 #include "core/reporting.hpp"
 #include "core/sweep.hpp"
 
+namespace lain::telemetry {
+class MetricsSink;
+}  // namespace lain::telemetry
+
 namespace lain::core {
 
 class LainContext;
@@ -58,6 +62,16 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   std::vector<std::uint64_t> seeds{1};  // expanded from seed/replicates
   bool gating = true;
+
+  // Streaming telemetry (universal flags; no-ops for scenarios that
+  // run no cycle-accurate simulation).  `metrics` is filled by the
+  // CLI driver from --metrics-out/--progress; library callers may
+  // install any MetricsSink (not owned; must outlive the run).
+  noc::Cycle metrics_window = 0;      // --metrics-window N cycles
+  std::string metrics_out;            // --metrics-out FILE ('-' = stdout)
+  bool progress = false;              // --progress: stderr window lines
+  std::int64_t trace_flits = 0;       // --trace-flits N (per-shard ring)
+  telemetry::MetricsSink* metrics = nullptr;
 };
 
 // What a scenario produced.  Table scenarios fill `table`; text-only

@@ -1,0 +1,20 @@
+#include "core/telemetry.hpp"
+
+#if LAIN_TELEMETRY
+
+#include <chrono>
+
+namespace lain::telemetry {
+
+// The one sanctioned wall-clock read in the telemetry layer: host
+// profiling only, never visible to the simulation.  The file is
+// determinism-exempt in tools/lint/lain_lint.py for exactly this.
+std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lain::telemetry
+
+#endif  // LAIN_TELEMETRY

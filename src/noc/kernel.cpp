@@ -1,10 +1,27 @@
 #include "noc/kernel.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace lain::noc {
 
 namespace {
+
+// One ejection, recorded into a stats slice.  Factored so the
+// windowed path records the identical sample set into the window
+// slice that the end-of-run path records into the shard slice.
+void record_ejection(SimStats& st, const Nic::Ejection& e,
+                     int packet_length_flits) {
+  ++st.packets_ejected;
+  st.flits_ejected += packet_length_flits;
+  st.packet_latency.add(static_cast<double>(e.ejected - e.created));
+  st.network_latency.add(static_cast<double>(e.ejected - e.injected));
+  st.hops.add(static_cast<double>(e.hops));
+  st.latency_hist.add(e.ejected - e.created);
+}
 
 using SliceFn = std::function<void(Cycle, Network&, const ShardPlan&)>;
 
@@ -70,8 +87,13 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
   // worker alike.  Compiles away unless built with LAIN_RACECHECK.
   contracts::PhaseScope rc_scope(contracts::Phase::component,
                                  static_cast<int>(shard_index));
+  LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                       component_ns);
   const ShardPlan& sp = plan_.shards[shard_index];
   Shard& sh = shards_[shard_index];
+  // Stamp the ring with this cycle so the routers' ST-stage pushes
+  // (which have no cycle argument) record it.
+  if (tracing_) sh.trace.set_cycle(now_);
   if (injecting_) {
     const bool in_window = now_ >= measure_start_ && now_ < measure_end_;
     for (NodeId n : sp.nodes) {
@@ -80,10 +102,17 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
       const PacketId id = (static_cast<PacketId>(n) << 32) |
                           packet_seq_[static_cast<size_t>(n)]++;
       net_.nic(n).source_packet(dst, now_, id);
+      if (tracing_) {
+        sh.trace.push({now_, id, n, FlitTraceKind::kInject, -1});
+      }
       if (in_window) {
         ++sh.stats.packets_injected;
         sh.stats.flits_injected += cfg_.packet_length_flits;
         ++sh.tracked_pending;
+        if (windowed_) {
+          ++sh.window_stats.packets_injected;
+          sh.window_stats.flits_injected += cfg_.packet_length_flits;
+        }
       }
     }
   }
@@ -112,28 +141,110 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
   // because every event lands in exactly one shard.
   for (NodeId n : sp.nodes) {
     for (const Nic::Ejection& e : net_.nic(n).completions()) {
+      if (tracing_) {
+        sh.trace.push({now_, e.packet, n, FlitTraceKind::kEject, -1});
+      }
       const bool tracked =
           e.created >= measure_start_ && e.created < measure_end_;
       if (!tracked) continue;
-      ++sh.stats.packets_ejected;
-      sh.stats.flits_ejected += cfg_.packet_length_flits;
       --sh.tracked_pending;
-      sh.stats.packet_latency.add(static_cast<double>(e.ejected - e.created));
-      sh.stats.network_latency.add(static_cast<double>(e.ejected - e.injected));
-      sh.stats.hops.add(static_cast<double>(e.hops));
-      sh.stats.latency_hist.add(e.ejected - e.created);
+      record_ejection(sh.stats, e, cfg_.packet_length_flits);
+      if (windowed_) {
+        record_ejection(sh.window_stats, e, cfg_.packet_length_flits);
+      }
     }
   }
   // The observer slice sees the shard post-tick, pre-exchange — the
   // same point in the cycle the old global hook observed, but scoped
   // to this shard and running inside its (parallel) phase.
   if (sh.observer) sh.observer->on_cycle(now_, net_, sp);
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       component_calls, 1);
+  // idle_fast_ticks is already a running per-shard total; mirror it
+  // rather than re-counting.
+  LAIN_TELEMETRY_SET(telemetry_, static_cast<int>(shard_index),
+                     idle_fast_ticks, sh.idle_fast_ticks);
 }
 
 void SimKernel::step_shard_channels(std::size_t shard_index) {
   contracts::PhaseScope rc_scope(contracts::Phase::exchange,
                                  static_cast<int>(shard_index));
-  for (int li : plan_.shards[shard_index].links) net_.tick_link(li);
+  LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                       exchange_ns);
+  const std::vector<int>& links = plan_.shards[shard_index].links;
+  for (int li : links) net_.tick_link(li);
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       exchange_calls, 1);
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       channel_ticks, static_cast<std::int64_t>(links.size()));
+}
+
+void SimKernel::set_metrics_window(Cycle window_cycles, WindowCallback cb) {
+  window_cycles_ = window_cycles;
+  windowed_ = window_cycles > 0;
+  window_cb_ = std::move(cb);
+  // Windows tile the measured region: the first one opens at the
+  // measurement start, so warmup traffic never lands in a window
+  // (matching the end-of-run stats contract).
+  window_begin_ = measure_start_;
+  window_index_ = 0;
+}
+
+void SimKernel::set_telemetry(telemetry::Collector* collector) {
+  telemetry_ = collector;
+  if (telemetry_ != nullptr) telemetry_->resize(num_shards());
+}
+
+void SimKernel::enable_flit_trace(std::size_t per_shard_capacity) {
+  tracing_ = per_shard_capacity > 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].trace.reset(per_shard_capacity);
+    FlitTraceRing* ring = tracing_ ? &shards_[s].trace : nullptr;
+    for (NodeId n : plan_.shards[s].nodes) net_.router(n).set_flit_trace(ring);
+  }
+}
+
+std::vector<FlitTraceEvent> SimKernel::collect_flit_trace() const {
+  std::vector<FlitTraceEvent> out;
+  for (const Shard& sh : shards_) {
+    const std::vector<FlitTraceEvent> part = sh.trace.snapshot();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Shard layout must not show through in the merged trace: order by
+  // simulated time, then location, then packet.  stable_sort keeps
+  // same-key events (multi-flit packets at one router) in per-ring
+  // push order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlitTraceEvent& a, const FlitTraceEvent& b) {
+                     return std::tie(a.cycle, a.node, a.packet, a.kind) <
+                            std::tie(b.cycle, b.node, b.packet, b.kind);
+                   });
+  return out;
+}
+
+std::int64_t SimKernel::flit_trace_dropped() const {
+  std::int64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.trace.dropped();
+  return n;
+}
+
+void SimKernel::flush_window(Cycle end) {
+  MetricsWindow w;
+  w.index = window_index_++;
+  w.begin = window_begin_;
+  w.end = end;
+  // Same exact merge as collect_stats(), in the same fixed shard
+  // order — the windowed series inherits the bit-identity contract.
+  for (Shard& sh : shards_) {
+    w.stats.merge(sh.window_stats);
+    sh.window_stats = SimStats{};
+  }
+  w.stats.num_nodes = cfg_.num_nodes();
+  w.stats.measured_cycles = end - window_begin_;
+  window_begin_ = end;
+  for_each_observer(
+      [end](int, ObserverSlice& slice) { slice.on_window_flush(end); });
+  if (window_cb_) window_cb_(w);
 }
 
 std::int64_t SimKernel::idle_fast_ticks() const {
@@ -162,12 +273,20 @@ SimStats SimKernel::run() {
   while (true) {
     injecting_ = now_ < inject_until;
     step();
+    // Window boundaries are pure functions of now_, which advances
+    // identically on every engine — so the windowed series flushes at
+    // the same cycles regardless of shard count.
+    if (windowed_ && now_ >= window_begin_ + window_cycles_) {
+      flush_window(window_begin_ + window_cycles_);
+    }
     if (now_ >= measure_end_ && tracked_pending() == 0) break;
     if (now_ >= hard_limit) {
       saturated_ = true;
       break;
     }
   }
+  // Flush the final partial window (drain-tail events land here).
+  if (windowed_ && now_ > window_begin_) flush_window(now_);
   return collect_stats();
 }
 

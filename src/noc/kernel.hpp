@@ -32,7 +32,12 @@
 
 #include "noc/parallel/partition.hpp"
 #include "noc/topology.hpp"
+#include "noc/trace.hpp"
 #include "noc/traffic.hpp"
+
+namespace lain::telemetry {
+class Collector;
+}  // namespace lain::telemetry
 
 namespace lain::noc {
 
@@ -47,6 +52,13 @@ class ObserverSlice {
  public:
   virtual ~ObserverSlice() = default;
   virtual void on_cycle(Cycle now, Network& net, const ShardPlan& shard) = 0;
+  // Window-boundary flush.  When the kernel runs with a metrics
+  // window (set_metrics_window) every slice is told each time a
+  // window closes — on the calling thread, between steps, never
+  // concurrently with on_cycle — so long-running observers can emit
+  // and reset instead of accumulating unbounded state.  `boundary` is
+  // the first cycle of the *next* window.  Default: no-op.
+  virtual void on_window_flush(Cycle boundary) { (void)boundary; }
 };
 
 // Creates the slice for one shard (may return nullptr for shards the
@@ -67,6 +79,11 @@ std::unique_ptr<ObserverSlice> make_observer_slice(
 // PartitionPlan.
 struct Shard {
   SimStats stats;
+  // The current metrics window's slice of the same events (only
+  // maintained when a metrics window is configured).  Merged and
+  // reset at each window boundary; the end-of-run `stats` above is
+  // untouched by windowing.
+  SimStats window_stats;
   // Packets created in the window minus packets ejected here.  May go
   // negative for one shard (ejection side); the sum over shards is
   // the fabric-wide in-flight tracked count.
@@ -75,6 +92,9 @@ struct Shard {
   // wall-clock observability counter, deliberately NOT part of
   // SimStats: a forced-slow-path run must compare bit-identical.
   std::int64_t idle_fast_ticks = 0;
+  // Opt-in bounded flit-trace ring (SimKernel::enable_flit_trace).
+  // Written only inside this shard's component phase.
+  FlitTraceRing trace;
   std::unique_ptr<ObserverSlice> observer;
 };
 
@@ -105,6 +125,46 @@ class SimKernel {
 
   const PartitionPlan& partition() const { return plan_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // One closed metrics window: the exact SimStats merge of every
+  // event whose cycle fell in [begin, end).  `stats.measured_cycles`
+  // is the window span and `stats.num_nodes` the fabric size, so the
+  // usual derived metrics (throughput etc.) work per window.  Subject
+  // to the same determinism contract as end-of-run stats: bit-
+  // identical at any shard count, partition shape and engine.
+  struct MetricsWindow {
+    std::int64_t index = 0;
+    Cycle begin = 0;
+    Cycle end = 0;
+    SimStats stats;
+  };
+  using WindowCallback = std::function<void(const MetricsWindow&)>;
+
+  // Enables windowed metrics: every `window_cycles` cycles (starting
+  // at the measurement window's first cycle) the per-shard window
+  // slices are merged on the calling thread and handed to `cb`, and
+  // every observer slice gets on_window_flush().  A final partial
+  // window is flushed when the run loop ends.  window_cycles == 0
+  // disables.  Call before run().
+  void set_metrics_window(Cycle window_cycles, WindowCallback cb = nullptr);
+  Cycle metrics_window_cycles() const { return window_cycles_; }
+
+  // Attaches per-shard profiling counters (nullptr detaches).  The
+  // collector is resized to the kernel's shard count and written from
+  // the shard phases through the LAIN_TELEMETRY_* hooks; read it
+  // between steps or after run().  Host-side observability only —
+  // never feeds back into the simulation.
+  void set_telemetry(telemetry::Collector* collector);
+
+  // Enables the bounded per-flit trace: each shard keeps the last
+  // `per_shard_capacity` injection/route/ejection events in an
+  // overwrite-oldest ring (0 disables).  Call before run().
+  void enable_flit_trace(std::size_t per_shard_capacity);
+  // Merged trace, sorted by (cycle, node, packet, kind).  Call after
+  // run()/between steps.
+  std::vector<FlitTraceEvent> collect_flit_trace() const;
+  // Events lost to ring overwrites, summed over shards.
+  std::int64_t flit_trace_dropped() const;
 
   // Installs a per-shard observer (nullptr factory clears it).  The
   // factory runs once per shard immediately; slices then run inside
@@ -140,6 +200,11 @@ class SimKernel {
   std::int64_t tracked_pending() const;
   SimStats collect_stats();
 
+  // Closes the current metrics window at `end`: merges + resets every
+  // shard's window slice (in shard order, on the calling thread),
+  // flushes observer slices, invokes the window callback.
+  void flush_window(Cycle end);
+
   SimConfig cfg_;
   Network net_;
   TrafficGenerator gen_;
@@ -153,6 +218,15 @@ class SimKernel {
   // Per-node packet sequence numbers; packet n<<32|seq is unique and
   // independent of the shard layout.
   std::vector<PacketId> packet_seq_;
+  // Windowed-metrics state (all driven from the run loop, between
+  // steps, on the calling thread).
+  Cycle window_cycles_ = 0;
+  Cycle window_begin_ = 0;
+  std::int64_t window_index_ = 0;
+  WindowCallback window_cb_;
+  bool windowed_ = false;
+  bool tracing_ = false;
+  telemetry::Collector* telemetry_ = nullptr;
 
  private:
   void make_observer_slices();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace lain::noc {
 
@@ -84,12 +85,24 @@ LAIN_HOT_PATH void ShardedSimulation::run_phase(std::size_t shard_index,
 
 LAIN_HOT_PATH void ShardedSimulation::worker_loop(std::size_t shard_index) {
   for (;;) {
-    start_barrier_->arrive_and_wait();
+    {
+      LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                           barrier_ns);
+      start_barrier_->arrive_and_wait();
+    }
     if (stop_requested_) return;
     run_phase(shard_index, /*components=*/true);
-    exchange_barrier_->arrive_and_wait();
+    {
+      LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                           barrier_ns);
+      exchange_barrier_->arrive_and_wait();
+    }
     run_phase(shard_index, /*components=*/false);
-    done_barrier_->arrive_and_wait();
+    {
+      LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                           barrier_ns);
+      done_barrier_->arrive_and_wait();
+    }
   }
 }
 
@@ -108,11 +121,20 @@ LAIN_HOT_PATH void ShardedSimulation::step() {
   }
 
   start_workers();
-  start_barrier_->arrive_and_wait();
+  {
+    LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+    start_barrier_->arrive_and_wait();
+  }
   run_phase(0, /*components=*/true);
-  exchange_barrier_->arrive_and_wait();
+  {
+    LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+    exchange_barrier_->arrive_and_wait();
+  }
   run_phase(0, /*components=*/false);
-  done_barrier_->arrive_and_wait();
+  {
+    LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+    done_barrier_->arrive_and_wait();
+  }
 
   ++now_;
   rethrow_any_error();

@@ -236,6 +236,10 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Router::switch_traverse() {
     f.vc = vcb.out_vc;
     ++f.hops;
     out_flits_[static_cast<size_t>(out_port)]->send(f);
+    if (trace_ != nullptr) {
+      trace_->push({trace_->cycle(), f.packet, id_, FlitTraceKind::kRoute,
+                    static_cast<std::int8_t>(out_port)});
+    }
     --credits_[pv(out_port, vcb.out_vc)];
     // Return a credit for the slot just freed upstream.
     if (out_credits_[static_cast<size_t>(p)] != nullptr) {

@@ -39,6 +39,7 @@
 #include "noc/channel.hpp"
 #include "noc/config.hpp"
 #include "noc/crossbar_sw.hpp"
+#include "noc/trace.hpp"
 
 namespace lain::noc {
 
@@ -74,6 +75,11 @@ class Router {
   void connect_output(Dir d, FlitChannel* flits_out, CreditChannel* credits_in);
 
   void set_power_hook(PowerHook* hook) { power_hook_ = hook; }
+
+  // Attaches the owning shard's flit-trace ring (nullptr detaches).
+  // When set, every switch traversal pushes a kRoute event; the
+  // ring's cycle stamp is maintained by the kernel's component phase.
+  void set_flit_trace(FlitTraceRing* ring) { trace_ = ring; }
 
   // One simulation cycle.  Ejected flits (to the local port) are sent
   // on the local output channel like any other port.
@@ -171,6 +177,7 @@ class Router {
   std::array<int, kNumPorts> chosen_vc_{};  // SA stage-1 winner per port
 
   PowerHook* power_hook_ = nullptr;
+  FlitTraceRing* trace_ = nullptr;
   RouterEvents events_;
   CrossbarActivity activity_;
 #if LAIN_RACECHECK

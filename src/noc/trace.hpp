@@ -1,0 +1,111 @@
+// trace.hpp — the bounded flit-trace ring.
+//
+// An opt-in post-mortem debugging aid: when enabled
+// (SimKernel::enable_flit_trace, CLI --trace-flits N) every shard
+// owns one fixed-capacity ring and records per-flit events into it —
+// packet injection and ejection from the kernel's component phase,
+// switch traversals from the router's ST stage.  The ring overwrites
+// its oldest entry when full (and counts the drop), so a multi-hour
+// run keeps the *last* N events per shard: the window that matters
+// when diagnosing a saturation collapse or a routing bug.
+//
+// push() is allocation-free (the buffer is sized once by reset()) and
+// each ring is written only by its owning shard's component phase, so
+// tracing never perturbs the two-phase determinism contract.  The
+// merged, (cycle, node, packet)-sorted event list is produced after
+// the run by SimKernel::collect_flit_trace().
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "noc/types.hpp"
+
+namespace lain::noc {
+
+enum class FlitTraceKind : std::int8_t {
+  kInject = 0,  // packet queued at the source NIC
+  kRoute = 1,   // flit traversed a router's switch (one event per hop)
+  kEject = 2,   // packet's tail ejected at the destination NIC
+};
+
+inline const char* flit_trace_kind_name(FlitTraceKind k) {
+  switch (k) {
+    case FlitTraceKind::kInject: return "inject";
+    case FlitTraceKind::kRoute: return "route";
+    case FlitTraceKind::kEject: return "eject";
+  }
+  return "?";
+}
+
+struct FlitTraceEvent {
+  Cycle cycle = 0;
+  PacketId packet = 0;
+  NodeId node = 0;        // router/NIC where the event happened
+  FlitTraceKind kind = FlitTraceKind::kInject;
+  std::int8_t out_port = -1;  // kRoute: output port taken, else -1
+};
+
+// Fixed-capacity overwrite-oldest event ring.  Capacity 0 (the
+// default) makes push() a no-op, so an unenabled ring costs one
+// branch.
+class FlitTraceRing {
+ public:
+  // (Re)allocates the buffer — the one place the ring touches the
+  // heap — and clears any recorded events.
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, FlitTraceEvent{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  // The kernel stamps the shard's current cycle here once per
+  // component phase, so the router's ST-stage pushes (which have no
+  // cycle argument) can record it.
+  void set_cycle(Cycle now) { now_ = now; }
+  Cycle cycle() const { return now_; }
+
+  LAIN_NO_ALLOC void push(const FlitTraceEvent& e) {
+    if (buf_.empty()) return;
+    buf_[head_] = e;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  // Events overwritten because the ring was full.
+  std::int64_t dropped() const { return dropped_; }
+
+  // The retained events, oldest first.
+  std::vector<FlitTraceEvent> snapshot() const {
+    std::vector<FlitTraceEvent> out;
+    out.reserve(size_);
+    const std::size_t cap = buf_.size();
+    // With size_ == cap the oldest entry is at head_ (about to be
+    // overwritten); otherwise the ring has never wrapped and the
+    // oldest is at 0.
+    std::size_t at = size_ == cap ? head_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(buf_[at]);
+      at = at + 1 == cap ? 0 : at + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<FlitTraceEvent> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::int64_t dropped_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace lain::noc

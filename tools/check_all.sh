@@ -42,6 +42,26 @@ for preset in $PRESETS; do
     release) ctest --preset all ;;  # fast+smoke+perf+lint, no filter
     *) ctest --preset "$preset" ;;
   esac
+
+  # Streaming-telemetry smoke (release only): a windowed sharded run
+  # must emit a manifest, window records and a summary over JSONL.
+  if [ "$preset" = release ]; then
+    metrics_out="build/$preset/check_all_metrics.jsonl"
+    if ! "build/$preset/lain_bench" injection_sweep --rates 0.05 \
+        --patterns uniform --schemes sdpc --sim-threads 2 \
+        --metrics-window 500 --trace-flits 64 \
+        --metrics-out "$metrics_out" >/dev/null; then
+      echo "check_all: metrics smoke run failed" >&2
+      exit 1
+    fi
+    for record in manifest window summary; do
+      if ! grep -q "\"type\":\"$record\"" "$metrics_out"; then
+        echo "check_all: metrics smoke: no $record record in JSONL" >&2
+        exit 1
+      fi
+    done
+    echo "check_all: metrics smoke OK ($metrics_out)"
+  fi
 done
 
 echo "check_all: all presets green"

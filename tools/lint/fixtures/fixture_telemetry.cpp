@@ -1,0 +1,21 @@
+// Seeded violation: a telemetry emission call inside a LAIN_HOT_PATH
+// extent.  Never compiled — lain_lint.py --self-test asserts the
+// telemetry-hook rule reports it.  The LAIN_TELEMETRY_COUNT hook
+// below must NOT be flagged: the counter macros are the approved
+// hot-path instruments.
+#define LAIN_NO_ALLOC
+#define LAIN_HOT_PATH
+#define LAIN_TELEMETRY_COUNT(c, s, f, d) ((void)0)
+
+namespace telemetry {
+class MetricsSink;
+}
+
+LAIN_HOT_PATH void hot_tick(telemetry::MetricsSink& sink, int window) {
+  LAIN_TELEMETRY_COUNT(nullptr, 0, channel_ticks, 1);  // fine: hook
+  sink.on_window(window);  // violation: emission in a hot extent
+}
+
+void cold_flush(telemetry::MetricsSink& sink, int window) {
+  sink.on_window(window);  // unmarked function: emission is fine here
+}

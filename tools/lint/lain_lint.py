@@ -20,6 +20,13 @@ contract markers in src/core/contracts.hpp:
   mutable-global no mutable namespace-scope state outside LainContext:
                  globals silently break the bit-identical sharding
                  contract and re-entrancy.
+  telemetry-hook no heavyweight telemetry (MetricsSink/MetricsStreamer
+                 types, on_window/on_flit emission calls, to_json) in a
+                 LAIN_HOT_PATH or LAIN_NO_ALLOC extent: hot code may
+                 only use the LAIN_TELEMETRY_* counter hooks and
+                 ScopedNs/FlitTraceRing (zero-alloc, no-throw by
+                 construction); sinks format and write — cold-path
+                 work that belongs after the phase barrier.
 
 Suppress a single finding with a `LAIN_LINT_ALLOW(<rule>): why`
 comment on the offending line or up to three lines above it.
@@ -48,6 +55,19 @@ ALLOC_PATTERNS = [
 
 THROW_PATTERN = re.compile(r"\bthrow\b")
 
+# Telemetry machinery that formats or writes — forbidden in marked hot
+# extents.  The approved hot-path instruments (LAIN_TELEMETRY_* macros,
+# telemetry::ScopedNs, FlitTraceRing::push) do not match any of these.
+TELEMETRY_PATTERNS = [
+    (re.compile(r"\btelemetry\s*::\s*\w*(?:Sink|Streamer)\b"),
+     "telemetry sink/streamer use"),
+    (re.compile(r"\b(?:Metrics|Memory|Jsonl|Progress|Multi)Sink\b"),
+     "telemetry sink use"),
+    (re.compile(r"\.\s*on_(?:manifest|window|flit|summary)\s*\("),
+     "telemetry emission call"),
+    (re.compile(r"\bto_json\s*\("), "telemetry serialization"),
+]
+
 DETERMINISM_PATTERNS = [
     (re.compile(r"\brand\s*\("), "rand()"),
     (re.compile(r"\bsrand\s*\("), "srand()"),
@@ -62,6 +82,9 @@ DETERMINISM_PATTERNS = [
 DETERMINISM_EXEMPT = {
     "src/noc/rng.hpp": "the deterministic RNG implementation itself",
     "src/core/bench_suite.cpp": "wall-clock Mcyc/s column (measurement)",
+    "src/core/telemetry.cpp":
+        "host-profiling monotonic clock (telemetry; never fed back "
+        "into the simulation)",
 }
 
 ALLOW_RE = re.compile(r"LAIN_LINT_ALLOW\(([a-z-]+)\)")
@@ -142,6 +165,26 @@ def check_extent_rule(path, raw, stripped, allowed, rule, patterns):
                     continue
                 findings.append("%s:%d: [%s] %s in a %s extent" %
                                 (path, ln, rule, what, MARKERS[rule]))
+    return findings
+
+
+def check_telemetry_hooks(path, stripped, allowed):
+    """telemetry-hook: only the zero-cost instruments may appear in a
+    marked hot extent; sinks/streamers/serializers may not."""
+    findings = []
+    waived = allowed.get("telemetry-hook", set())
+    for marker in ("LAIN_HOT_PATH", "LAIN_NO_ALLOC"):
+        for start, end in marker_extents(stripped, marker):
+            body = stripped[start:end]
+            for pat, what in TELEMETRY_PATTERNS:
+                for m in pat.finditer(body):
+                    ln = line_of(stripped, start + m.start())
+                    if ln in waived:
+                        continue
+                    findings.append(
+                        "%s:%d: [telemetry-hook] %s in a %s extent "
+                        "(hot code may only use LAIN_TELEMETRY_* hooks)" %
+                        (path, ln, what, marker))
     return findings
 
 
@@ -246,6 +289,7 @@ def lint_file(path, rel):
                                   ALLOC_PATTERNS)
     findings += check_extent_rule(path, raw, stripped, allowed, "hot-throw",
                                   [(THROW_PATTERN, "throw")])
+    findings += check_telemetry_hooks(path, stripped, allowed)
     findings += check_determinism(path, rel, stripped, allowed)
     findings += check_mutable_globals(path, stripped, allowed)
     return findings
@@ -268,6 +312,7 @@ def self_test():
         "fixture_throw.cpp": "[hot-throw]",
         "fixture_determinism.cpp": "[determinism]",
         "fixture_global.cpp": "[mutable-global]",
+        "fixture_telemetry.cpp": "[telemetry-hook]",
     }
     failures = []
     for name, tag in sorted(expect.items()):
