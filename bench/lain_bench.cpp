@@ -3,6 +3,7 @@
 //   lain_bench <subcommand> [--threads N] [--csv | --json] [--out FILE]
 //              [--metrics-window N] [--metrics-out FILE] [--progress]
 //              [--trace-flits N] [axis flags...]
+//   lain_bench --scenario-file FILE [shared flags...]
 //   lain_bench --list-scenarios
 //   lain_bench <subcommand> --help
 //
@@ -26,12 +27,19 @@
 //   lain_bench injection_sweep --rates 0.10 --metrics-window 500
 //       --metrics-out metrics.jsonl --progress --trace-flits 256
 // See README "Observability" for the JSONL schema.
+//
+// --scenario-file runs a batch of jobs from a JSONL file (one job
+// object per line — the same wire format lain_serve accepts); any
+// further flags are shared across the jobs and override the file:
+//   lain_bench --scenario-file jobs.jsonl --csv --threads 4
+// See README "Sweep service" for the job schema.
 
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "core/scenario.hpp"
+#include "core/scenario_json.hpp"
 
 using namespace lain::core;
 
@@ -51,6 +59,14 @@ int run(int argc, char** argv) {
   if (cmd == "--list-scenarios") {
     std::fputs(registry.list().c_str(), stdout);
     return 0;
+  }
+  if (cmd == "--scenario-file") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fputs("lain_bench: --scenario-file needs a FILE argument\n",
+                 stderr);
+      return 2;
+    }
+    return run_scenario_file_cli(registry, argv[2], argc - 3, argv + 3);
   }
   const Scenario* scenario = registry.find(cmd);
   if (!scenario) {

@@ -101,7 +101,10 @@ ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
         .cell(to_mW(r.crossbar_power_w), 2)
         .cell_pct(r.standby_fraction, 1)
         .cell(to_mW(r.realized_saving_w), 2)
-        .cell(r.saturated ? "[sat]" : "");
+        .cell(r.canceled            ? "[canceled]"
+              : r.aborted_saturated ? "[abort]"
+              : r.saturated         ? "[sat]"
+                                    : "");
   }
   return t;
 }

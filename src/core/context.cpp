@@ -73,6 +73,39 @@ std::optional<telemetry::MetricsStreamer> attach_telemetry(
   return std::nullopt;
 }
 
+// Installs the run-lifecycle control (cancel + saturation guard) per
+// TelemetryOptions.  Both verdicts are functions of the window series
+// and the cancel flag only — no clocks — so a control that never
+// fires leaves the run bit-identical.  Controls act at window
+// boundaries; with metrics_window == 0 there are none and the hook is
+// never consulted.
+void install_window_control(noc::SimKernel& kernel,
+                            const TelemetryOptions& t) {
+  if (t.cancel == nullptr && t.abort_latency_mult <= 0.0) return;
+  const std::atomic<bool>* cancel = t.cancel;
+  const double mult = t.abort_latency_mult;
+  // Zero-load latency reference: the first closed window that ejected
+  // packets.  Early windows see near-zero-load latency even on runs
+  // that later saturate, because congestion builds over time.
+  double reference = 0.0;
+  kernel.set_window_control(
+      [cancel, mult,
+       reference](const noc::SimKernel::MetricsWindow& w) mutable {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          return noc::SimKernel::WindowVerdict::kCancel;
+        }
+        if (mult > 0.0 && w.stats.packet_latency.count() > 0) {
+          const double mean = w.stats.packet_latency.mean();
+          if (reference <= 0.0) {
+            reference = mean;
+          } else if (mean > mult * reference) {
+            return noc::SimKernel::WindowVerdict::kAbortSaturated;
+          }
+        }
+        return noc::SimKernel::WindowVerdict::kContinue;
+      });
+}
+
 }  // namespace
 
 bool CharacterizationCache::KeyLess::operator()(
@@ -138,7 +171,15 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
       *kernel, &powered, spec.sim,
       std::string(xbar::scheme_name(spec.scheme)), spec.enable_gating,
       spec.telemetry);
-  const noc::SimStats stats = kernel->run();
+  install_window_control(*kernel, spec.telemetry);
+  noc::SimStats stats;
+  if (spec.telemetry.cancel != nullptr &&
+      spec.telemetry.cancel->load(std::memory_order_relaxed)) {
+    // Canceled before the first cycle: skip the run, report canceled.
+    kernel->mark_canceled();
+  } else {
+    stats = kernel->run();
+  }
   if (streamer) {
     streamer->finish(stats, kernel->saturated(), cache_.lookups(),
                      cache_.hits());
@@ -163,6 +204,8 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
   r.realized_saving_w =
       seconds > 0.0 ? powered.realized_standby_saving_j() / seconds : 0.0;
   r.saturated = kernel->saturated();
+  r.canceled = kernel->canceled();
+  r.aborted_saturated = kernel->aborted_saturated();
   return r;
 }
 
@@ -176,7 +219,14 @@ noc::Histogram LainContext::idle_histogram(const noc::SimConfig& cfg,
   std::optional<telemetry::MetricsStreamer> streamer = attach_telemetry(
       *kernel, /*power=*/nullptr, cfg, /*scheme=*/"", /*gating=*/false,
       telemetry);
-  const noc::SimStats stats = kernel->run();
+  install_window_control(*kernel, telemetry);
+  noc::SimStats stats;
+  if (telemetry.cancel != nullptr &&
+      telemetry.cancel->load(std::memory_order_relaxed)) {
+    kernel->mark_canceled();
+  } else {
+    stats = kernel->run();
+  }
   if (streamer) {
     streamer->finish(stats, kernel->saturated(), cache_.lookups(),
                      cache_.hits());

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,37 @@ struct NocRunResult {
   double standby_fraction = 0.0;       // crossbar cycles spent gated
   double realized_saving_w = 0.0;      // vs never gating
   bool saturated = false;
+  // Run-lifecycle controls (TelemetryOptions below): the run was
+  // stopped early at a window boundary.  Derived columns then cover
+  // only the measured cycles that elapsed.
+  bool canceled = false;
+  bool aborted_saturated = false;
+};
+
+// Streaming-telemetry attachment for a run.  With a sink the run
+// emits the full record stream (manifest, windows, flit trace,
+// summary — see core/metrics.hpp); without one a nonzero
+// metrics_window still flushes observer slices at window boundaries.
+// None of it changes the simulation: the stats stay bit-identical
+// with telemetry on, off, or compiled out.
+struct TelemetryOptions {
+  noc::Cycle metrics_window = 0;       // cycles per window; 0 disables
+  std::int64_t trace_flits = 0;        // per-shard trace ring capacity
+  telemetry::MetricsSink* sink = nullptr;  // not owned; may be null
+  // Run-lifecycle controls, both checked at window boundaries only —
+  // they require a nonzero metrics_window and are inert without one.
+  //
+  // Saturation guard: abort the run once a closed window's mean
+  // packet latency exceeds `abort_latency_mult` x the zero-load
+  // reference (the first closed window that ejected packets — at zero
+  // load the windowed mean equals the zero-load latency, which is why
+  // it serves as the reference).  <= 0 disables.  A run the guard
+  // never fires on is bit-identical to one without the guard.
+  double abort_latency_mult = 0.0;
+  // Cooperative cancel: when non-null and set, the run stops at the
+  // next window boundary (checked before the run starts, too).  Not
+  // owned; must outlive the run.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Fully specified powered run: any SimConfig (topology, radix,
@@ -56,18 +88,6 @@ struct NocRunResult {
 // to cores.  The stats — and therefore every simulation-derived
 // column — are bit-identical across all of them: threads, partition
 // and pinning change wall clock only.
-// Streaming-telemetry attachment for a run.  With a sink the run
-// emits the full record stream (manifest, windows, flit trace,
-// summary — see core/metrics.hpp); without one a nonzero
-// metrics_window still flushes observer slices at window boundaries.
-// None of it changes the simulation: the stats stay bit-identical
-// with telemetry on, off, or compiled out.
-struct TelemetryOptions {
-  noc::Cycle metrics_window = 0;       // cycles per window; 0 disables
-  std::int64_t trace_flits = 0;        // per-shard trace ring capacity
-  telemetry::MetricsSink* sink = nullptr;  // not owned; may be null
-};
-
 struct NocRunSpec {
   xbar::Scheme scheme = xbar::Scheme::kSC;
   noc::SimConfig sim;

@@ -199,6 +199,8 @@ std::string to_json(const RunSummary& s) {
       .str("run", s.run)
       .num("cycles", static_cast<std::int64_t>(s.cycles))
       .boolean("saturated", s.saturated)
+      .boolean("canceled", s.canceled)
+      .boolean("aborted_saturated", s.aborted_saturated)
       .num("windows", s.windows)
       .num("packets_injected", s.packets_injected)
       .num("packets_ejected", s.packets_ejected)
@@ -263,7 +265,11 @@ void ProgressSink::on_summary(const RunSummary& s) {
                s.run.c_str(), static_cast<long long>(s.cycles),
                static_cast<long long>(s.windows),
                static_cast<long long>(s.packets_ejected), s.latency_mean,
-               s.throughput, s.saturated ? " [SATURATED]" : "");
+               s.throughput,
+               s.canceled            ? " [CANCELED]"
+               : s.aborted_saturated ? " [ABORTED]"
+               : s.saturated         ? " [SATURATED]"
+                                     : "");
 }
 
 // --------------------------------------------------------------- streamer
@@ -429,6 +435,8 @@ void MetricsStreamer::finish(const noc::SimStats& stats, bool saturated,
   s.run = manifest_.run;
   s.cycles = kernel_.now();
   s.saturated = saturated;
+  s.canceled = kernel_.canceled();
+  s.aborted_saturated = kernel_.aborted_saturated();
   s.windows = windows_emitted_;
   s.packets_injected = stats.packets_injected;
   s.packets_ejected = stats.packets_ejected;

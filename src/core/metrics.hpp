@@ -113,6 +113,11 @@ struct RunSummary {
   std::string run;
   noc::Cycle cycles = 0;  // kernel cycles actually stepped
   bool saturated = false;
+  // Run-lifecycle controls (SimKernel::set_window_control): the run
+  // was stopped at a window boundary by a cancel request / by the
+  // saturation guard.  Both false for a run that completed normally.
+  bool canceled = false;
+  bool aborted_saturated = false;
   std::int64_t windows = 0;
   std::int64_t packets_injected = 0;
   std::int64_t packets_ejected = 0;

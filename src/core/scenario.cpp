@@ -17,7 +17,8 @@ namespace {
 // Universal flags every scenario accepts (parsed by the CLI driver,
 // not by build_scenario_spec — except --threads).
 const std::vector<std::string> kUniversalValueFlags = {
-    "threads", "out", "metrics-window", "metrics-out", "trace-flits"};
+    "threads",     "out",           "metrics-window",
+    "metrics-out", "trace-flits",   "abort-on-saturation"};
 const std::vector<std::string> kUniversalSwitchFlags = {"csv", "json",
                                                         "progress", "help"};
 
@@ -48,6 +49,10 @@ const FlagHelp kFlagHelp[] = {
     {"trace-flits",
      "keep the last N per-flit events per shard and dump them\n"
      "                      into the metrics stream (0 = off)"},
+    {"abort-on-saturation",
+     "abort a run whose windowed mean latency exceeds MULT x\n"
+     "                      the zero-load reference (needs\n"
+     "                      --metrics-window; 0 = off)"},
     {"progress", "print one stderr line per closed metrics window"},
     {"help", "show this scenario's usage"},
     {"schemes", "e.g. sc,dpc,sdpc or 'all'"},
@@ -73,6 +78,7 @@ const FlagDefault kFlagDefaults[] = {
     {"threads", "1"},       {"sim-threads", "1"},
     {"metrics-window", "0"},
     {"trace-flits", "0"},
+    {"abort-on-saturation", "0"},
     {"partition", "auto"},
     {"schemes", "all"},     {"patterns", "uniform"},
     {"rates", "0.05,0.15,0.30"},
@@ -152,6 +158,8 @@ TelemetryOptions telemetry_options(const ScenarioSpec& s) {
   t.metrics_window = s.metrics_window;
   t.trace_flits = s.trace_flits;
   t.sink = s.metrics;
+  t.abort_latency_mult = s.abort_latency_mult;
+  t.cancel = s.cancel;
   return t;
 }
 
@@ -564,6 +572,17 @@ ScenarioSpec build_scenario_spec(const Scenario& sc, const ArgParser& args) {
     }
     s.trace_flits = trace;
     s.metrics_out = args.get("metrics-out", "");
+    s.abort_latency_mult = parse_flag(
+        "abort-on-saturation", flag_value(sc, args, "abort-on-saturation"),
+        [](const std::string& v) { return std::stod(v); });
+    if (s.abort_latency_mult < 0.0) {
+      throw std::invalid_argument("--abort-on-saturation must be >= 0");
+    }
+    if (s.abort_latency_mult > 0.0 && s.metrics_window == 0) {
+      throw std::invalid_argument(
+          "--abort-on-saturation needs --metrics-window (the guard acts "
+          "at window boundaries)");
+    }
   }
   s.progress = args.has("progress");
   if (accepts("sim-threads")) {

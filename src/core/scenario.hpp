@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -72,6 +73,11 @@ struct ScenarioSpec {
   bool progress = false;              // --progress: stderr window lines
   std::int64_t trace_flits = 0;       // --trace-flits N (per-shard ring)
   telemetry::MetricsSink* metrics = nullptr;
+
+  // Run-lifecycle controls (see core::TelemetryOptions).  Both act at
+  // metrics-window boundaries and are inert with metrics_window == 0.
+  double abort_latency_mult = 0.0;    // --abort-on-saturation MULT
+  const std::atomic<bool>* cancel = nullptr;  // library/serve callers only
 };
 
 // What a scenario produced.  Table scenarios fill `table`; text-only

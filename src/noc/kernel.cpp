@@ -190,6 +190,10 @@ void SimKernel::set_metrics_window(Cycle window_cycles, WindowCallback cb) {
   window_index_ = 0;
 }
 
+void SimKernel::set_window_control(WindowControl control) {
+  window_control_ = std::move(control);
+}
+
 void SimKernel::set_telemetry(telemetry::Collector* collector) {
   telemetry_ = collector;
   if (telemetry_ != nullptr) telemetry_->resize(num_shards());
@@ -228,7 +232,7 @@ std::int64_t SimKernel::flit_trace_dropped() const {
   return n;
 }
 
-void SimKernel::flush_window(Cycle end) {
+SimKernel::MetricsWindow SimKernel::flush_window(Cycle end) {
   MetricsWindow w;
   w.index = window_index_++;
   w.begin = window_begin_;
@@ -245,6 +249,7 @@ void SimKernel::flush_window(Cycle end) {
   for_each_observer(
       [end](int, ObserverSlice& slice) { slice.on_window_flush(end); });
   if (window_cb_) window_cb_(w);
+  return w;
 }
 
 std::int64_t SimKernel::idle_fast_ticks() const {
@@ -263,7 +268,16 @@ SimStats SimKernel::collect_stats() {
   SimStats st;
   for (const Shard& sh : shards_) st.merge(sh.stats);
   st.num_nodes = cfg_.num_nodes();
-  st.measured_cycles = cfg_.measure_cycles;
+  // A control-terminated run covers only the measured cycles that
+  // actually elapsed; a full run reports the configured span even
+  // when the drain tail ran past it (unchanged contract).
+  if (canceled_ || aborted_saturated_) {
+    const Cycle measured = std::min(now_, measure_end_);
+    st.measured_cycles =
+        measured > measure_start_ ? measured - measure_start_ : 0;
+  } else {
+    st.measured_cycles = cfg_.measure_cycles;
+  }
   return st;
 }
 
@@ -277,7 +291,18 @@ SimStats SimKernel::run() {
     // identically on every engine — so the windowed series flushes at
     // the same cycles regardless of shard count.
     if (windowed_ && now_ >= window_begin_ + window_cycles_) {
-      flush_window(window_begin_ + window_cycles_);
+      const MetricsWindow w = flush_window(window_begin_ + window_cycles_);
+      if (window_control_) {
+        const WindowVerdict v = window_control_(w);
+        if (v == WindowVerdict::kCancel) {
+          canceled_ = true;
+          break;
+        }
+        if (v == WindowVerdict::kAbortSaturated) {
+          aborted_saturated_ = true;
+          break;
+        }
+      }
     }
     if (now_ >= measure_end_ && tracked_pending() == 0) break;
     if (now_ >= hard_limit) {
@@ -285,7 +310,9 @@ SimStats SimKernel::run() {
       break;
     }
   }
-  // Flush the final partial window (drain-tail events land here).
+  // Flush the final partial window (drain-tail events land here; a
+  // control-terminated run already closed its last window at the
+  // boundary it stopped on, so nothing flushes twice).
   if (windowed_ && now_ > window_begin_) flush_window(now_);
   return collect_stats();
 }

@@ -149,6 +149,28 @@ class SimKernel {
   void set_metrics_window(Cycle window_cycles, WindowCallback cb = nullptr);
   Cycle metrics_window_cycles() const { return window_cycles_; }
 
+  // Run-lifecycle control, evaluated after each full window closes
+  // (on the calling thread, between steps — the only safe point to
+  // stop a sharded run).  kCancel and kAbortSaturated terminate the
+  // run loop at that boundary; collect_stats() then covers exactly
+  // the windows that closed.  The verdict is a pure function of the
+  // window (and whatever deterministic state the callback keeps), so
+  // a control hook that never fires leaves the run bit-identical —
+  // the window series itself does not change.  Requires a metrics
+  // window; with window_cycles == 0 the hook is never consulted.
+  enum class WindowVerdict { kContinue, kCancel, kAbortSaturated };
+  using WindowControl = std::function<WindowVerdict(const MetricsWindow&)>;
+  void set_window_control(WindowControl control);
+
+  // True when a window control terminated the run early.
+  bool canceled() const { return canceled_; }
+  bool aborted_saturated() const { return aborted_saturated_; }
+
+  // Marks the run canceled before it starts (a job whose cancel flag
+  // was already set when its worker picked it up); the caller then
+  // skips run() and the summary reports canceled with zero cycles.
+  void mark_canceled() { canceled_ = true; }
+
   // Attaches per-shard profiling counters (nullptr detaches).  The
   // collector is resized to the kernel's shard count and written from
   // the shard phases through the LAIN_TELEMETRY_* hooks; read it
@@ -202,8 +224,9 @@ class SimKernel {
 
   // Closes the current metrics window at `end`: merges + resets every
   // shard's window slice (in shard order, on the calling thread),
-  // flushes observer slices, invokes the window callback.
-  void flush_window(Cycle end);
+  // flushes observer slices, invokes the window callback.  Returns
+  // the merged window so the run loop can consult the control hook.
+  MetricsWindow flush_window(Cycle end);
 
   SimConfig cfg_;
   Network net_;
@@ -213,6 +236,8 @@ class SimKernel {
   Cycle now_ = 0;
   bool injecting_ = true;
   bool saturated_ = false;
+  bool canceled_ = false;
+  bool aborted_saturated_ = false;
   Cycle measure_start_ = 0;
   Cycle measure_end_ = 0;
   // Per-node packet sequence numbers; packet n<<32|seq is unique and
@@ -224,6 +249,7 @@ class SimKernel {
   Cycle window_begin_ = 0;
   std::int64_t window_index_ = 0;
   WindowCallback window_cb_;
+  WindowControl window_control_;
   bool windowed_ = false;
   bool tracing_ = false;
   telemetry::Collector* telemetry_ = nullptr;

@@ -1,0 +1,95 @@
+#include "serve/proto.hpp"
+
+namespace lain::serve {
+
+namespace {
+
+// \" and \\ escapes plus newline flattening: a frame is one line by
+// construction, whatever an exception message contains.
+std::string escaped(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\n' || c == '\r') {
+      out += ' ';
+      continue;
+    }
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string str_field(const char* key, const std::string& v) {
+  return std::string("\"") + key + "\":\"" + escaped(v) + "\"";
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCanceled:
+      return "canceled";
+    case JobState::kAborted:
+      return "aborted_saturated";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::string accepted_frame(const std::string& job,
+                           const std::string& scenario,
+                           std::int64_t queue_depth) {
+  return "{\"type\":\"accepted\"," + str_field("job", job) + "," +
+         str_field("scenario", scenario) +
+         ",\"queue_depth\":" + std::to_string(queue_depth) + "}";
+}
+
+std::string started_frame(const std::string& job, const std::string& run) {
+  return "{\"type\":\"started\"," + str_field("job", job) + "," +
+         str_field("run", run) + "}";
+}
+
+std::string done_frame(const std::string& job, JobState state,
+                       const std::string& error) {
+  std::string out = "{\"type\":\"done\"," + str_field("job", job) + "," +
+                    str_field("state", job_state_name(state));
+  if (!error.empty()) out += "," + str_field("error", error);
+  return out + "}";
+}
+
+std::string status_frame(const std::string& job, JobState state) {
+  return "{\"type\":\"status\"," + str_field("job", job) + "," +
+         str_field("state", job_state_name(state)) + "}";
+}
+
+std::string stats_frame(const ServiceStats& s) {
+  return "{\"type\":\"stats\",\"jobs_accepted\":" +
+         std::to_string(s.jobs_accepted) +
+         ",\"jobs_running\":" + std::to_string(s.jobs_running) +
+         ",\"jobs_finished\":" + std::to_string(s.jobs_finished) +
+         ",\"queue_depth\":" + std::to_string(s.queue_depth) +
+         ",\"workers\":" + std::to_string(s.workers) +
+         ",\"budget_total\":" + std::to_string(s.budget_total) +
+         ",\"budget_in_use\":" + std::to_string(s.budget_in_use) +
+         ",\"cache_lookups\":" + std::to_string(s.cache_lookups) +
+         ",\"cache_characterizations\":" +
+         std::to_string(s.cache_characterizations) +
+         ",\"cache_hits\":" + std::to_string(s.cache_hits) + "}";
+}
+
+std::string error_frame(const std::string& message, const std::string& job) {
+  std::string out = "{\"type\":\"error\"," + str_field("message", message);
+  if (!job.empty()) out += "," + str_field("job", job);
+  return out + "}";
+}
+
+std::string bye_frame() { return "{\"type\":\"bye\"}"; }
+
+}  // namespace lain::serve

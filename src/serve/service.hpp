@@ -1,0 +1,152 @@
+// service.hpp — the sweep service: a JobQueue + worker pool that
+// drains scenario jobs submitted over the socket protocol through one
+// shared LainContext.
+//
+// The whole point of serving (vs batch lain_bench) is the shared warm
+// state: every job goes through the SAME context, so N clients
+// submitting same-scheme jobs characterize the crossbar exactly once
+// (CharacterizationCache), and the worker pool plus every job's sweep
+// engine and sharded kernel draw lanes from the SAME ThreadBudget, so
+// concurrent clients cooperate instead of oversubscribing the host.
+//
+// Threading model:
+//   * connection reader threads (SocketServer) parse request frames
+//     and either answer inline (status/cancel/shutdown) or enqueue a
+//     Job (submit);
+//   * `workers` pool threads (lanes leased from the ThreadBudget) pop
+//     jobs and run them; each job's record stream goes to its
+//     client's FrameWriter, which serializes whole frames, so
+//     concurrent jobs on one connection interleave but never tear;
+//   * shutdown is requested from a reader thread (flag + notify) and
+//     executed by whoever called wait()/stop() — never by a thread
+//     the teardown joins.
+//
+// Jobs are canceled cooperatively at metrics-window boundaries (the
+// kernel's window-control hook), so a cancel frame — or the client
+// vanishing, which auto-cancels its live jobs — stops the simulation
+// mid-run with a well-formed summary frame, not a torn stream.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario_json.hpp"
+#include "core/thread_budget.hpp"
+#include "serve/proto.hpp"
+#include "serve/socket.hpp"
+
+namespace lain::core {
+class LainContext;
+}  // namespace lain::core
+
+namespace lain::serve {
+
+// One submitted job.  `state` is the single source of truth for the
+// lifecycle; the queued -> running transition is a CAS so a cancel
+// frame and a worker claiming the job cannot both win.
+struct Job {
+  std::string id;
+  core::ScenarioJobSpec spec;
+  FrameWriterPtr out;            // the submitting connection's writer
+  std::atomic<JobState> state{JobState::kQueued};
+  std::atomic<bool> cancel{false};
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+// FIFO of queued jobs plus the registry of every job ever accepted
+// (status/cancel address jobs by id after they left the queue).
+class JobQueue {
+ public:
+  void push(const JobPtr& job);
+  // Blocks until a job is available or the queue is closed; nullptr
+  // means closed-and-drained (workers exit).
+  JobPtr pop();
+  void close();
+
+  JobPtr find(const std::string& id) const;
+  std::int64_t depth() const;
+  // Every job ever accepted, in submit order.
+  std::vector<JobPtr> all() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<JobPtr> queue_;
+  std::vector<JobPtr> registry_;
+  bool closed_ = false;
+};
+
+struct ServeOptions {
+  std::string socket_path;
+  // Worker lanes to lease from the context's ThreadBudget (<= 0: the
+  // whole budget).  The grant is capped by what is available, so the
+  // pool can never oversubscribe the budget.
+  int workers = 0;
+  // Default saturation guard applied to jobs that stream windows but
+  // do not set abort-on-saturation themselves (0 = none).
+  double abort_latency_mult = 0.0;
+};
+
+class SweepService {
+ public:
+  // Jobs parse against `registry` (ScenarioRegistry::builtin() for
+  // the daemon) and run through `ctx` — whose cache and budget are
+  // exactly what the service exists to share.
+  SweepService(core::LainContext& ctx,
+               const core::ScenarioRegistry& registry, ServeOptions opt);
+  ~SweepService();
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  // Binds the socket and starts the worker pool.  Throws on bind
+  // failure.
+  void start();
+  // Blocks until a shutdown frame arrives (or stop() is called), then
+  // tears the service down: queued jobs drain, running jobs finish,
+  // workers join, socket closes.
+  void wait();
+  // request_shutdown + teardown; idempotent, callable after wait().
+  void stop();
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  const std::string& socket_path() const { return opt_.socket_path; }
+  ServiceStats stats() const;
+
+ private:
+  void handle_line(const std::string& line, const FrameWriterPtr& out);
+  void handle_submit(const std::vector<core::JsonField>& fields,
+                     const FrameWriterPtr& out);
+  void handle_cancel(const std::string& id, const FrameWriterPtr& out);
+  void handle_status(const std::string& id, const FrameWriterPtr& out);
+  void worker_loop();
+  void run_job(const JobPtr& job);
+  void request_shutdown();
+
+  core::LainContext& ctx_;
+  const core::ScenarioRegistry& registry_;
+  ServeOptions opt_;
+  SocketServer server_;
+  JobQueue queue_;
+  core::ThreadBudget::Lease lease_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::int64_t> next_job_{0};
+  std::atomic<std::int64_t> jobs_accepted_{0};
+  std::atomic<std::int64_t> jobs_running_{0};
+  std::atomic<std::int64_t> jobs_finished_{0};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace lain::serve

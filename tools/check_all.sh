@@ -61,6 +61,20 @@ for preset in $PRESETS; do
       fi
     done
     echo "check_all: metrics smoke OK ($metrics_out)"
+
+    # Scenario-file smoke: the wire-format batch driver must run a
+    # JSONL job file clean (the served twin of this path is covered by
+    # ctest's smoke_lain_serve, which boots the daemon end to end).
+    jobs_file="build/$preset/check_all_jobs.jsonl"
+    printf '%s\n' \
+      '{"scenario":"injection_sweep","rates":"0.05","patterns":"uniform","schemes":"sdpc"}' \
+      > "$jobs_file"
+    if ! "build/$preset/lain_bench" --scenario-file "$jobs_file" \
+        --csv >/dev/null; then
+      echo "check_all: scenario-file smoke failed" >&2
+      exit 1
+    fi
+    echo "check_all: scenario-file smoke OK ($jobs_file)"
   fi
 done
 

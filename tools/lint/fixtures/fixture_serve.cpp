@@ -1,0 +1,18 @@
+// Seeded violation: sweep-service socket machinery inside a
+// LAIN_HOT_PATH extent.  Never compiled — lain_lint.py --self-test
+// asserts the telemetry-hook rule reports it.  Frame writes belong on
+// the host side of the telemetry boundary, after the phase barrier;
+// a shard phase must never block on a client's socket.
+#define LAIN_HOT_PATH
+
+namespace serve {
+class FrameWriter;
+}
+
+LAIN_HOT_PATH void hot_tick(serve::FrameWriter& out, int window) {
+  out.write_line(window);  // violation: frame write in a hot extent
+}
+
+void cold_flush(serve::FrameWriter& out, int window) {
+  out.write_line(window);  // unmarked function: writing is fine here
+}

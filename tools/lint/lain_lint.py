@@ -26,7 +26,11 @@ contract markers in src/core/contracts.hpp:
                  only use the LAIN_TELEMETRY_* counter hooks and
                  ScopedNs/FlitTraceRing (zero-alloc, no-throw by
                  construction); sinks format and write — cold-path
-                 work that belongs after the phase barrier.
+                 work that belongs after the phase barrier.  The same
+                 rule keeps the sweep service's socket machinery
+                 (serve::, FrameWriter, write_line, send/recv) out of
+                 hot extents: frames go out after the boundary, never
+                 from inside a shard phase.
 
 Suppress a single finding with a `LAIN_LINT_ALLOW(<rule>): why`
 comment on the offending line or up to three lines above it.
@@ -66,6 +70,13 @@ TELEMETRY_PATTERNS = [
     (re.compile(r"\.\s*on_(?:manifest|window|flit|summary)\s*\("),
      "telemetry emission call"),
     (re.compile(r"\bto_json\s*\("), "telemetry serialization"),
+    # The sweep service's transport lives strictly on the host side of
+    # the telemetry boundary: sockets, frame writers and protocol
+    # serialization may never appear inside a marked hot extent.
+    (re.compile(r"\bserve\s*::|\bFrameWriter\b|\bSocketServer\b"),
+     "sweep-service socket machinery"),
+    (re.compile(r"\bwrite_line\s*\(|::\s*(?:send|recv)\s*\("),
+     "socket frame write"),
 ]
 
 DETERMINISM_PATTERNS = [
@@ -313,6 +324,7 @@ def self_test():
         "fixture_determinism.cpp": "[determinism]",
         "fixture_global.cpp": "[mutable-global]",
         "fixture_telemetry.cpp": "[telemetry-hook]",
+        "fixture_serve.cpp": "[telemetry-hook]",
     }
     failures = []
     for name, tag in sorted(expect.items()):

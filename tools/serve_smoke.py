@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the sweep service (lain_serve + lain_submit).
+
+Boots the daemon on a temp socket, submits two identical same-scheme
+jobs as one batch, and asserts the contract the subsystem exists for:
+
+  * every frame the daemon streams is one whole parseable JSON line
+    (no torn frames),
+  * both jobs are accepted, stream window records, and reach a clean
+    `done` terminal frame,
+  * the shared warm cache characterized the scheme exactly once for
+    the two jobs (cache_characterizations == 1 in the stats frame),
+  * the worker pool stayed inside the thread budget,
+  * the shutdown frame stops the daemon, which exits 0.
+
+Run by CTest as smoke_lain_serve; under the asan preset this same
+script is the serve layer's sanitizer smoke.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+JOB = {
+    "scenario": "injection_sweep",
+    "rates": "0.05",
+    "patterns": "uniform",
+    "schemes": "sdpc",
+    "metrics-window": "500",
+}
+
+
+def fail(msg):
+    print("serve_smoke: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_socket(path, proc, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        if proc.poll() is not None:
+            fail("daemon exited early with code %d" % proc.returncode)
+        time.sleep(0.05)
+    fail("daemon socket %s never appeared" % path)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve", required=True, help="lain_serve binary")
+    ap.add_argument("--submit", required=True, help="lain_submit binary")
+    args = ap.parse_args()
+
+    # Socket paths are capped around 108 bytes: keep the dir short.
+    with tempfile.TemporaryDirectory(prefix="lainsv.", dir="/tmp") as tmp:
+        sock = os.path.join(tmp, "s")
+        jobs_file = os.path.join(tmp, "jobs.jsonl")
+        with open(jobs_file, "w") as f:
+            for _ in range(2):
+                f.write(json.dumps(JOB) + "\n")
+
+        serve = subprocess.Popen([args.serve, "--socket", sock,
+                                  "--workers", "2"])
+        try:
+            wait_for_socket(sock, serve)
+            submit = subprocess.run(
+                [args.submit, "--socket", sock, "--scenario-file",
+                 jobs_file, "--stats", "--shutdown"],
+                stdout=subprocess.PIPE, timeout=240, text=True)
+            serve.wait(timeout=60)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.wait()
+
+        if submit.returncode != 0:
+            fail("lain_submit exited %d" % submit.returncode)
+        if serve.returncode != 0:
+            fail("lain_serve exited %d" % serve.returncode)
+
+        frames = []
+        for line in submit.stdout.splitlines():
+            if not line.strip():
+                fail("blank line in the frame stream")
+            try:
+                frames.append(json.loads(line))
+            except ValueError:
+                fail("unparseable (torn?) frame: " + repr(line[:120]))
+
+        by_type = {}
+        for f in frames:
+            by_type.setdefault(f.get("type"), []).append(f)
+
+        accepted = by_type.get("accepted", [])
+        done = by_type.get("done", [])
+        windows = by_type.get("window", [])
+        stats = by_type.get("stats", [])
+        if len(accepted) != 2:
+            fail("expected 2 accepted frames, got %d" % len(accepted))
+        if len(done) != 2:
+            fail("expected 2 done frames, got %d" % len(done))
+        for f in done:
+            if f.get("state") != "done":
+                fail("job %s ended %s" % (f.get("job"), f.get("state")))
+        if not windows:
+            fail("no window records were streamed")
+        for w in windows:
+            if not str(w.get("run", "")).startswith("run-"):
+                fail("window record without a run id: %r" % (w,))
+        if len(stats) != 1:
+            fail("expected 1 stats frame, got %d" % len(stats))
+        s = stats[0]
+        if s.get("cache_characterizations") != 1:
+            fail("expected exactly 1 characterization for two same-scheme "
+                 "jobs, got %r" % s.get("cache_characterizations"))
+        if s.get("cache_hits", 0) < 1:
+            fail("expected a warm-cache hit, got %r" % s.get("cache_hits"))
+        if s.get("workers", 0) > s.get("budget_total", 0):
+            fail("worker pool %r exceeds the thread budget %r"
+                 % (s.get("workers"), s.get("budget_total")))
+        if s.get("jobs_finished") != 2:
+            fail("expected jobs_finished == 2, got %r"
+                 % s.get("jobs_finished"))
+
+        print("serve_smoke: OK (%d frames, %d windows, 1 characterization)"
+              % (len(frames), len(windows)))
+
+
+if __name__ == "__main__":
+    main()
