@@ -60,6 +60,7 @@ ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
         spec.sim.hotspot_fraction = p.hotspot_fraction;
         spec.sim.burst_duty = p.burst_duty;
         spec.sim.burst_on_mean_cycles = opt.burst_on_mean_cycles;
+        spec.sim.enable_cycle_skip = opt.cycle_skip;
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
@@ -125,6 +126,7 @@ ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
         cfg.hotspot_fraction = p.hotspot_fraction;
         cfg.burst_duty = p.burst_duty;
         cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
+        cfg.enable_cycle_skip = opt.cycle_skip;
         return ctx.idle_histogram(cfg, opt.sim_threads, opt.partition,
                                   opt.pin_threads, opt.telemetry);
       });
@@ -193,6 +195,7 @@ ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
         spec.scheme = opt.scheme;
         spec.sim = make_sim_config(p.radix, topology, p.rate, p.pattern,
                                    opt.seed);
+        spec.sim.enable_cycle_skip = opt.cycle_skip;
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
@@ -256,6 +259,7 @@ ReportTable mesh_scaling(const MeshScalingOptions& opt) {
                         opt.pattern, opt.seed);
     cfg.warmup_cycles = opt.warmup_cycles;
     cfg.measure_cycles = opt.measure_cycles;
+    cfg.enable_cycle_skip = opt.cycle_skip;
 
     // The first (partition, threads) pair anchors speedup and the
     // bit-identity check for the whole radix — every partition shape

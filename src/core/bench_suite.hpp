@@ -45,6 +45,7 @@ struct NocSweepOptions {
   int sim_threads = 1;  // per-run kernel threads (see NocRunSpec)
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  bool cycle_skip = false;  // event-driven skipping (bit-identical stats)
   // Streaming telemetry for every run in the sweep (the sink must be
   // thread-safe when the engine runs jobs in parallel; the built-in
   // JSONL sink is).  Records carry per-run ids, so interleaved
@@ -70,6 +71,7 @@ struct IdleHistogramOptions {
   int sim_threads = 1;
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
   TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
@@ -91,6 +93,7 @@ struct MeshVsTorusOptions {
   int sim_threads = 1;
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
+  bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
   TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // One row per (pattern, radix, rate): mesh and torus latency,
@@ -111,6 +114,7 @@ struct MeshScalingOptions {
       noc::PartitionStrategy::kRowBands, noc::PartitionStrategy::kBlocks2D};
   std::vector<int> sim_threads{1, 2, 4}; // shard counts to time
   bool pin_threads = false;
+  bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
   double injection_rate = 0.05;
   noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
   noc::Cycle warmup_cycles = 200;

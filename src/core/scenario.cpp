@@ -19,8 +19,8 @@ namespace {
 const std::vector<std::string> kUniversalValueFlags = {
     "threads",     "out",           "metrics-window",
     "metrics-out", "trace-flits",   "abort-on-saturation"};
-const std::vector<std::string> kUniversalSwitchFlags = {"csv", "json",
-                                                        "progress", "help"};
+const std::vector<std::string> kUniversalSwitchFlags = {
+    "csv", "json", "cycle-skip", "progress", "help"};
 
 struct FlagHelp {
   const char* flag;
@@ -53,6 +53,9 @@ const FlagHelp kFlagHelp[] = {
      "abort a run whose windowed mean latency exceeds MULT x\n"
      "                      the zero-load reference (needs\n"
      "                      --metrics-window; 0 = off)"},
+    {"cycle-skip",
+     "event-driven cycle skipping: jump quiescent stretches in\n"
+     "                      one step (stats stay bit-identical)"},
     {"progress", "print one stderr line per closed metrics window"},
     {"help", "show this scenario's usage"},
     {"schemes", "e.g. sc,dpc,sdpc or 'all'"},
@@ -176,6 +179,7 @@ NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
   opt.sim_threads = s.sim_threads;
   opt.partition = s.partition;
   opt.pin_threads = s.pin_threads;
+  opt.cycle_skip = s.cycle_skip;
   opt.telemetry = telemetry_options(s);
   return opt;
 }
@@ -232,6 +236,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.sim_threads = s.sim_threads;
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
+      opt.cycle_skip = s.cycle_skip;
       opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = idle_histogram(ctx, opt, engine);
@@ -326,6 +331,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.sim_threads = s.sim_threads;
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
+      opt.cycle_skip = s.cycle_skip;
       opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = mesh_vs_torus(ctx, opt, engine);
@@ -363,6 +369,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.partitions = s.partition_list;
       opt.sim_threads = s.sim_thread_list;
       opt.pin_threads = s.pin_threads;
+      opt.cycle_skip = s.cycle_skip;
       opt.injection_rate = s.rates.front();
       opt.pattern = s.patterns.front();
       opt.seed = s.seed;
@@ -585,6 +592,7 @@ ScenarioSpec build_scenario_spec(const Scenario& sc, const ArgParser& args) {
     }
   }
   s.progress = args.has("progress");
+  s.cycle_skip = args.has("cycle-skip");
   if (accepts("sim-threads")) {
     if (sc.sim_threads_as_list) {
       s.sim_thread_list = parse_flag("sim-threads",

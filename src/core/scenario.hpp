@@ -49,6 +49,10 @@ struct ScenarioSpec {
       noc::PartitionStrategy::kRowBands,
       noc::PartitionStrategy::kBlocks2D};  // mesh_scaling's axis
   bool pin_threads = false;  // pin shard workers to cores (Linux)
+  // Event-driven cycle skipping (universal --cycle-skip; stats stay
+  // bit-identical, wall-clock drops on sparse traffic).  Ignored by
+  // scenarios without a cycle-accurate simulation.
+  bool cycle_skip = false;
 
   std::vector<xbar::Scheme> schemes;
   std::vector<noc::TrafficPattern> patterns;

@@ -68,7 +68,9 @@ class Channel {
   }
 
   // Exchange phase: advance one cycle and admit the staged item.
-  LAIN_HOT_PATH LAIN_NO_ALLOC void tick() {
+  // Returns true when an item was admitted into the pipe this tick —
+  // the event-driven kernel uses that to wake the consumer.
+  LAIN_HOT_PATH LAIN_NO_ALLOC bool tick() {
     rc_exchange("Channel::tick");
     LAIN_SHARD_PHASE(exchange);
     for (int i = 0; i < count_; ++i) {
@@ -85,6 +87,28 @@ class Channel {
       slots_[static_cast<size_t>(tail)] = Slot{*staged_, latency_ - 1};
       ++count_;
       staged_.reset();
+      return true;
+    }
+    return false;
+  }
+
+  // Exchange-phase bulk advance for cycle skipping: equivalent to n
+  // consecutive tick() calls over cycles in which the producer stays
+  // silent and nothing becomes receivable.  Preconditions (asserted):
+  // nothing staged — between steps every send has been admitted — and
+  // every in-pipe item still has remaining >= n, which the kernel's
+  // horizon guarantees (the skip never jumps past a delivery).
+  LAIN_HOT_PATH LAIN_NO_ALLOC void advance_idle(int n) {
+    rc_exchange("Channel::advance_idle");
+    LAIN_SHARD_PHASE(exchange);
+    assert(!staged_.has_value() &&
+           "advance_idle with a staged item (missed exchange tick)");
+    for (int i = 0; i < count_; ++i) {
+      int idx = head_ + i;
+      if (idx >= capacity()) idx -= capacity();
+      Slot& s = slots_[static_cast<size_t>(idx)];
+      assert(s.remaining >= n && "skip horizon jumped past a delivery");
+      s.remaining -= n;
     }
   }
 
@@ -100,6 +124,27 @@ class Channel {
   LAIN_HOT_PATH LAIN_NO_ALLOC bool consumer_pending() const {
     rc_consumer("Channel::consumer_pending");
     return count_ > 0;
+  }
+
+  // Consumer-side horizon probe for cycle skipping: cycles until the
+  // oldest in-pipe item becomes receivable (0 = receivable in this
+  // component phase), or -1 when the pipe is empty.  Admission is
+  // FIFO and every slot decrements together, so the head item always
+  // has the minimum remaining — this single read bounds the whole
+  // pipe.  Same consumer-side race-freedom argument as
+  // consumer_pending().
+  LAIN_HOT_PATH LAIN_NO_ALLOC int consumer_next_delivery() const {
+    rc_consumer("Channel::consumer_next_delivery");
+    if (count_ == 0) return -1;
+    return slots_[static_cast<size_t>(head_)].remaining;
+  }
+
+  // Exchange-owner probe: items in the pipe, for the kernel's wet-link
+  // bookkeeping (a link with in-pipe items must keep ticking / be
+  // advanced across a skip).  Called from the exchange phase only.
+  LAIN_HOT_PATH LAIN_NO_ALLOC int pipe_count() const {
+    rc_exchange("Channel::pipe_count");
+    return count_;
   }
 
   // Whole-channel probes: these read the staging slot, so during a

@@ -39,6 +39,15 @@ struct SimConfig {
   // exists so tests and benchmarks can pin/measure exactly that.
   bool enable_idle_fastpath = true;
 
+  // Event-driven cycle skipping: step only the routers/NICs with work,
+  // and when a shard's region is fully quiescent advance the clock by
+  // the computed horizon (next traffic-gen arrival, next in-flight
+  // flit/credit delivery, next phase/window boundary) instead of
+  // looping per-cycle.  Results are bit-identical to per-cycle
+  // stepping — SimStats, power columns, idle histograms, and windowed
+  // telemetry all match (pinned by tests/test_cycle_skip.cpp).
+  bool enable_cycle_skip = false;
+
   // Workload.
   TrafficPattern pattern = TrafficPattern::kUniform;
   double injection_rate = 0.1;   // flits / node / cycle (long-run average)

@@ -18,6 +18,10 @@ class CrossbarActivity {
   // Records one cycle with `active_outputs` ports traversing flits.
   void record(int active_outputs);
 
+  // Records n consecutive idle cycles at once (cycle skipping);
+  // exactly equivalent to n record(0) calls.
+  void record_idle(std::int64_t n);
+
   std::int64_t cycles() const { return cycles_; }
   std::int64_t busy_cycles() const { return busy_cycles_; }
   std::int64_t traversals() const { return traversals_; }

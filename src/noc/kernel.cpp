@@ -1,6 +1,8 @@
 #include "noc/kernel.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <stdexcept>
 #include <tuple>
 
 #include "core/contracts.hpp"
@@ -9,6 +11,22 @@
 namespace lain::noc {
 
 namespace {
+
+// Bare-step arrival-scan chunk: how far ahead of now_ the event
+// kernel scans each node's traffic stream.  Large enough to amortize
+// the dry-node rescan, small enough that abandoning a bare-stepped
+// sim wastes a negligible number of pre-drawn arrivals.
+constexpr Cycle kArrivalChunk = 4096;
+
+// Min-heap order for the per-shard arrival heap: earliest cycle
+// first, ties broken by node id so same-cycle arrivals pop in
+// ascending node order — the per-cycle kernel's injection loop order.
+struct ArrivalOrder {
+  bool operator()(const std::pair<Cycle, NodeId>& a,
+                  const std::pair<Cycle, NodeId>& b) const {
+    return a > b;
+  }
+};
 
 // One ejection, recorded into a stats slice.  Factored so the
 // windowed path records the identical sample set into the window
@@ -57,12 +75,421 @@ void SimKernel::init_partition(PartitionStrategy strategy, int num_shards) {
   // shard so out-of-phase or cross-shard access aborts (no-op unless
   // built with LAIN_RACECHECK).
   net_.rc_tag_shards(plan_.shard_of);
+  prepare_event_state();
   if (observer_factory_) make_observer_slices();
 }
 
 void SimKernel::set_observer(ObserverFactory factory) {
+  if (factory && event_mode_latched_ && event_mode_) {
+    // An observer's on_cycle contract is every-cycle; a kernel that
+    // already skipped cycles cannot honor it retroactively, and its
+    // traffic state (pre-drawn arrivals) is not replayable by the
+    // per-cycle path.  Attach observers before the first step.
+    throw std::logic_error(
+        "set_observer: kernel already stepped in cycle-skip mode; attach "
+        "observers before the first step (they force per-cycle stepping)");
+  }
   observer_factory_ = std::move(factory);
   make_observer_slices();
+}
+
+bool SimKernel::use_event_mode() {
+  // Latched at the first step: mixing event-driven and per-cycle
+  // stepping mid-run would desynchronize the pre-drawn arrival state
+  // from the per-cycle polling the slow path performs.
+  if (!event_mode_latched_) {
+    event_mode_latched_ = true;
+    event_mode_ = cfg_.enable_cycle_skip && !observer_factory_;
+  }
+  return event_mode_;
+}
+
+void SimKernel::prepare_event_state() {
+  const std::size_t nn = static_cast<std::size_t>(cfg_.num_nodes());
+  const int nl = net_.num_links();
+  nic_active_flag_.assign(nn, 0);
+  router_active_flag_.assign(nn, 0);
+  idle_from_.assign(nn, 0);
+  link_marked_.assign(static_cast<std::size_t>(nl), 0);
+  link_wake_.assign(static_cast<std::size_t>(nl), LinkWake{});
+  node_dirty_links_.assign(nn, {});
+  auto shard_of = [&](NodeId n) {
+    return plan_.shard_of[static_cast<std::size_t>(n)];
+  };
+  for (int li = 0; li < nl; ++li) {
+    const NodeId src = net_.link_source(li);
+    const NodeId own = net_.link_owner(li);
+    LinkWake w;
+    switch (net_.link_kind(li)) {
+      case Network::LinkKind::kInjection:
+        // NIC(src) -> router(own) flits; credits flow back to the NIC.
+        w.flit_node = own;
+        w.flit_is_nic = 0;
+        w.credit_node = src;
+        w.credit_is_nic = 1;
+        break;
+      case Network::LinkKind::kEjection:
+        // router(src) -> NIC(own) flits; credits back to the router.
+        w.flit_node = own;
+        w.flit_is_nic = 1;
+        w.credit_node = src;
+        w.credit_is_nic = 0;
+        break;
+      case Network::LinkKind::kRouter:
+        w.flit_node = own;
+        w.flit_is_nic = 0;
+        w.credit_node = src;
+        w.credit_is_nic = 0;
+        w.credit_cross = shard_of(src) != shard_of(own) ? 1 : 0;
+        break;
+    }
+    link_wake_[static_cast<std::size_t>(li)] = w;
+    // Dirty-markable by every same-shard node that can stage onto the
+    // link: the flit producer (source) and the credit producer
+    // (owner).  Local links have source == owner, so one entry covers
+    // both the NIC and the router of that node.
+    node_dirty_links_[static_cast<std::size_t>(own)].push_back(li);
+    if (src != own && shard_of(src) == shard_of(own)) {
+      node_dirty_links_[static_cast<std::size_t>(src)].push_back(li);
+    }
+  }
+  boundary_links_of_.assign(shards_.size(), {});
+  std::vector<std::uint8_t> pinned_flag(nn, 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardPlan& sp = plan_.shards[s];
+    Shard& sh = shards_[s];
+    for (int li : sp.links) {
+      if (shard_of(net_.link_source(li)) != static_cast<int>(s)) {
+        boundary_links_of_[s].push_back(li);
+      }
+    }
+    const std::size_t nodes = sp.nodes.size();
+    const std::size_t links = sp.links.size();
+    sh.arrivals.assign(nodes, {Cycle{0}, kInvalidNode});
+    sh.dry_nodes.assign(nodes, kInvalidNode);
+    sh.active_nics.assign(nodes, kInvalidNode);
+    sh.active_routers.assign(nodes, kInvalidNode);
+    sh.cand_links.assign(links, 0);
+    sh.wet_links.assign(links, 0);
+    sh.wet_scratch.assign(links, 0);
+    sh.arrival_count = sh.dry_count = 0;
+    sh.nic_count = sh.router_count = 0;
+    sh.cand_count = sh.wet_count = 0;
+    sh.arrivals_seeded = false;
+    sh.arrival_scanned_to = 0;
+  }
+  // Pinned routers: sources of cross-shard links.  Their inbound
+  // boundary credit channels are refilled by an exchange phase their
+  // own shard never runs, so instead of cross-shard wake-ups they are
+  // probed every executed cycle and contribute to the horizon.
+  for (int li = 0; li < nl; ++li) {
+    const NodeId src = net_.link_source(li);
+    if (shard_of(src) == shard_of(net_.link_owner(li))) continue;
+    if (pinned_flag[static_cast<std::size_t>(src)] != 0) continue;
+    pinned_flag[static_cast<std::size_t>(src)] = 1;
+    shards_[static_cast<std::size_t>(shard_of(src))].pinned.push_back(src);
+  }
+  for (Shard& sh : shards_) std::sort(sh.pinned.begin(), sh.pinned.end());
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::maintain_arrival_limit() {
+  if (arrival_limit_final_) return;
+  if (arrival_limit_ < now_ + 2) arrival_limit_ = now_ + kArrivalChunk;
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC Cycle SimKernel::shard_horizon(
+    std::size_t shard_index) {
+  contracts::PhaseScope rc_scope(contracts::Phase::component,
+                                 static_cast<int>(shard_index));
+  const ShardPlan& sp = plan_.shards[shard_index];
+  Shard& sh = shards_[shard_index];
+  if (injecting_) {
+    if (!sh.arrivals_seeded) {
+      sh.arrivals_seeded = true;
+      sh.arrival_scanned_to = arrival_limit_;
+      for (NodeId n : sp.nodes) {
+        const Cycle c = gen_.next_arrival(n, arrival_limit_);
+        if (c != TrafficGenerator::kNoArrival) {
+          sh.arrivals[sh.arrival_count++] = {c, n};
+        } else {
+          sh.dry_nodes[sh.dry_count++] = n;
+        }
+      }
+      std::make_heap(
+          sh.arrivals.begin(),
+          sh.arrivals.begin() + static_cast<std::ptrdiff_t>(sh.arrival_count),
+          ArrivalOrder{});
+    } else if (sh.dry_count > 0 && arrival_limit_ > sh.arrival_scanned_to) {
+      // The scan bound moved (bare-step chunk extension): retry the
+      // nodes whose last scan came up dry.
+      sh.arrival_scanned_to = arrival_limit_;
+      std::size_t still_dry = 0;
+      for (std::size_t i = 0; i < sh.dry_count; ++i) {
+        const NodeId n = sh.dry_nodes[i];
+        const Cycle c = gen_.next_arrival(n, arrival_limit_);
+        if (c != TrafficGenerator::kNoArrival) {
+          sh.arrivals[sh.arrival_count++] = {c, n};
+          std::push_heap(sh.arrivals.begin(),
+                         sh.arrivals.begin() +
+                             static_cast<std::ptrdiff_t>(sh.arrival_count),
+                         ArrivalOrder{});
+        } else {
+          sh.dry_nodes[still_dry++] = n;
+        }
+      }
+      sh.dry_count = still_dry;
+    }
+  }
+  if (sh.nic_count > 0 || sh.router_count > 0) return now_;
+  Cycle h = kNoEventCycle;
+  if (injecting_ && sh.arrival_count > 0) h = sh.arrivals[0].first;
+  for (NodeId p : sh.pinned) {
+    const Cycle c = net_.router(p).next_event_cycle(now_);
+    if (c < h) h = c;
+    if (h <= now_) return now_;
+  }
+  return h;
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::step_shard_event_components(
+    std::size_t shard_index) {
+  contracts::PhaseScope rc_scope(contracts::Phase::component,
+                                 static_cast<int>(shard_index));
+  LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                       component_ns);
+  Shard& sh = shards_[shard_index];
+  if (tracing_) sh.trace.set_cycle(now_);
+  // Phase 1: traffic arrivals due this cycle.  (cycle, node) heap
+  // order means same-cycle arrivals source in ascending node order,
+  // matching the per-cycle injection loop.
+  if (injecting_) {
+    const bool in_window = now_ >= measure_start_ && now_ < measure_end_;
+    while (sh.arrival_count > 0 && sh.arrivals[0].first <= now_) {
+      assert(sh.arrivals[0].first == now_ &&
+             "arrival heap fell behind the clock");
+      std::pop_heap(
+          sh.arrivals.begin(),
+          sh.arrivals.begin() + static_cast<std::ptrdiff_t>(sh.arrival_count),
+          ArrivalOrder{});
+      --sh.arrival_count;
+      const NodeId n = sh.arrivals[sh.arrival_count].second;
+      const NodeId dst = gen_.take_arrival(n);
+      const PacketId id = (static_cast<PacketId>(n) << 32) |
+                          packet_seq_[static_cast<size_t>(n)]++;
+      net_.nic(n).source_packet(dst, now_, id);
+      if (tracing_) {
+        sh.trace.push({now_, id, n, FlitTraceKind::kInject, -1});
+      }
+      if (in_window) {
+        ++sh.stats.packets_injected;
+        sh.stats.flits_injected += cfg_.packet_length_flits;
+        ++sh.tracked_pending;
+        if (windowed_) {
+          ++sh.window_stats.packets_injected;
+          sh.window_stats.flits_injected += cfg_.packet_length_flits;
+        }
+      }
+      wake_nic(sh, n);
+      const Cycle next = gen_.next_arrival(n, arrival_limit_);
+      if (next != TrafficGenerator::kNoArrival) {
+        sh.arrivals[sh.arrival_count++] = {next, n};
+        std::push_heap(
+            sh.arrivals.begin(),
+            sh.arrivals.begin() + static_cast<std::ptrdiff_t>(sh.arrival_count),
+            ArrivalOrder{});
+      } else {
+        sh.dry_nodes[sh.dry_count++] = n;
+      }
+    }
+  }
+  // Phase 2: NIC ticks, ascending.  Completions are collected inline
+  // — router ticks cannot add completions, so the eject sample order
+  // still matches the per-cycle kernel's ascending collection loop.
+  std::sort(sh.active_nics.begin(),
+            sh.active_nics.begin() + static_cast<std::ptrdiff_t>(sh.nic_count));
+  const std::size_t nics_this_cycle = sh.nic_count;
+  std::size_t nic_kept = 0;
+  for (std::size_t i = 0; i < nics_this_cycle; ++i) {
+    const NodeId n = sh.active_nics[i];
+    Nic& nic = net_.nic(n);
+    nic.tick(now_);
+    mark_dirty_links(sh, n);
+    for (const Nic::Ejection& e : nic.completions()) {
+      if (tracing_) {
+        sh.trace.push({now_, e.packet, n, FlitTraceKind::kEject, -1});
+      }
+      const bool tracked =
+          e.created >= measure_start_ && e.created < measure_end_;
+      if (!tracked) continue;
+      --sh.tracked_pending;
+      record_ejection(sh.stats, e, cfg_.packet_length_flits);
+      if (windowed_) {
+        record_ejection(sh.window_stats, e, cfg_.packet_length_flits);
+      }
+    }
+    if (nic.quiescent()) {
+      nic_active_flag_[static_cast<std::size_t>(n)] = 0;
+    } else {
+      sh.active_nics[nic_kept++] = n;
+    }
+  }
+  sh.nic_count = nic_kept;
+  // Phase 3: routers, ascending.  A full tick is preceded by a batch
+  // flush of the router's deferred idle span, so the activity tap and
+  // power hook replay the exact per-cycle history.
+  std::sort(
+      sh.active_routers.begin(),
+      sh.active_routers.begin() + static_cast<std::ptrdiff_t>(sh.router_count));
+  const std::size_t routers_this_cycle = sh.router_count;
+  std::size_t router_kept = 0;
+  for (std::size_t i = 0; i < routers_this_cycle; ++i) {
+    const NodeId n = sh.active_routers[i];
+    Router& r = net_.router(n);
+    Cycle& from = idle_from_[static_cast<std::size_t>(n)];
+    if (from < now_) {
+      r.tick_idle_n(now_ - from);
+      sh.idle_fast_ticks += now_ - from;
+    }
+    from = now_ + 1;
+    r.tick();
+    mark_dirty_links(sh, n);
+    if (r.quiescent()) {
+      router_active_flag_[static_cast<std::size_t>(n)] = 0;
+    } else {
+      sh.active_routers[router_kept++] = n;
+    }
+  }
+  sh.router_count = router_kept;
+  // Pinned routers not woken this cycle: probe.  Their inbound
+  // boundary credits arrive without a wake-up, so a full tick runs
+  // whenever the quiescence predicate fails — exactly the per-cycle
+  // kernel's criterion.  A post-tick non-quiescent pinned router
+  // joins the active list like any other.
+  for (NodeId p : sh.pinned) {
+    if (router_active_flag_[static_cast<std::size_t>(p)] != 0) continue;
+    Router& r = net_.router(p);
+    if (r.quiescent()) continue;
+    Cycle& from = idle_from_[static_cast<std::size_t>(p)];
+    if (from < now_) {
+      r.tick_idle_n(now_ - from);
+      sh.idle_fast_ticks += now_ - from;
+    }
+    from = now_ + 1;
+    r.tick();
+    mark_dirty_links(sh, p);
+    if (!r.quiescent()) wake_router(sh, p);
+  }
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       component_calls, 1);
+  LAIN_TELEMETRY_SET(telemetry_, static_cast<int>(shard_index),
+                     idle_fast_ticks, sh.idle_fast_ticks);
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::step_shard_event_channels(
+    std::size_t shard_index) {
+  contracts::PhaseScope rc_scope(contracts::Phase::exchange,
+                                 static_cast<int>(shard_index));
+  LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                       exchange_ns);
+  Shard& sh = shards_[shard_index];
+  // Candidates = dirty (marked during this shard's component phase)
+  // ∪ wet ∪ owned boundary links, deduped through link_marked_.
+  // Ticking a link outside this set is a no-op (nothing staged,
+  // nothing in the pipe), so the reduced set evolves the fabric
+  // bit-identically to ticking every owned link.
+  for (std::size_t i = 0; i < sh.wet_count; ++i) {
+    const int li = sh.wet_links[i];
+    if (link_marked_[static_cast<std::size_t>(li)] == 0) {
+      link_marked_[static_cast<std::size_t>(li)] = 1;
+      sh.cand_links[sh.cand_count++] = li;
+    }
+  }
+  for (int li : boundary_links_of_[shard_index]) {
+    if (link_marked_[static_cast<std::size_t>(li)] == 0) {
+      link_marked_[static_cast<std::size_t>(li)] = 1;
+      sh.cand_links[sh.cand_count++] = li;
+    }
+  }
+  std::size_t wet_new = 0;
+  for (std::size_t i = 0; i < sh.cand_count; ++i) {
+    const int li = sh.cand_links[i];
+    const Network::LinkTickEvents ev = net_.tick_link_ev(li);
+    const LinkWake& w = link_wake_[static_cast<std::size_t>(li)];
+    if (ev.flit_admitted) {
+      if (w.flit_is_nic != 0) {
+        wake_nic(sh, w.flit_node);
+      } else {
+        wake_router(sh, w.flit_node);
+      }
+    }
+    if (ev.credit_admitted && w.credit_cross == 0) {
+      if (w.credit_is_nic != 0) {
+        wake_nic(sh, w.credit_node);
+      } else {
+        wake_router(sh, w.credit_node);
+      }
+    }
+    if (ev.wet) sh.wet_scratch[wet_new++] = li;
+    link_marked_[static_cast<std::size_t>(li)] = 0;
+  }
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       exchange_calls, 1);
+  LAIN_TELEMETRY_COUNT(telemetry_, static_cast<int>(shard_index),
+                       channel_ticks,
+                       static_cast<std::int64_t>(sh.cand_count));
+  sh.cand_count = 0;
+  std::swap(sh.wet_links, sh.wet_scratch);
+  sh.wet_count = wet_new;
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::skip_shard_channels(
+    std::size_t shard_index, Cycle d) {
+  contracts::PhaseScope rc_scope(contracts::Phase::exchange,
+                                 static_cast<int>(shard_index));
+  Shard& sh = shards_[shard_index];
+  if (sh.wet_count == 0) return;
+  // Wet links surviving into a skip carry only boundary credits (a
+  // wet flit pipe keeps its consumer active, which pins the horizon
+  // at now_), and their consumer's shard bounded the global horizon,
+  // so d never reaches a delivery: remaining fits int.
+  const int n = static_cast<int>(d);
+  for (std::size_t i = 0; i < sh.wet_count; ++i) {
+    net_.advance_link_idle(sh.wet_links[i], n);
+  }
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::step_event_single() {
+  maintain_arrival_limit();
+  const Cycle h = shard_horizon(0);
+  if (h <= now_) {
+    step_shard_event_components(0);
+    step_shard_event_channels(0);
+    ++now_;
+    return;
+  }
+  const Cycle cap = skip_cap_ >= 0 ? skip_cap_ : now_ + 1;
+  Cycle target = h < cap ? h : cap;
+  if (target <= now_) target = now_ + 1;
+  skip_shard_channels(0, target - now_);
+  skipped_cycles_ += target - now_;
+  now_ = target;
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::flush_deferred_idle(Cycle upto) {
+  if (!event_mode_) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    contracts::PhaseScope rc_scope(contracts::Phase::component,
+                                   static_cast<int>(s));
+    Shard& sh = shards_[s];
+    for (NodeId n : plan_.shards[s].nodes) {
+      Cycle& from = idle_from_[static_cast<std::size_t>(n)];
+      if (from < upto) {
+        net_.router(n).tick_idle_n(upto - from);
+        sh.idle_fast_ticks += upto - from;
+        from = upto;
+      }
+    }
+  }
 }
 
 void SimKernel::make_observer_slices() {
@@ -233,6 +660,10 @@ std::int64_t SimKernel::flit_trace_dropped() const {
 }
 
 SimKernel::MetricsWindow SimKernel::flush_window(Cycle end) {
+  // Cycle-skip mode defers idle accounting; settle it through the
+  // window boundary so anything reading activity taps or power hooks
+  // between windows sees the fully-accounted fabric.
+  flush_deferred_idle(end);
   MetricsWindow w;
   w.index = window_index_++;
   w.begin = window_begin_;
@@ -265,6 +696,7 @@ std::int64_t SimKernel::tracked_pending() const {
 }
 
 SimStats SimKernel::collect_stats() {
+  flush_deferred_idle(now_);
   SimStats st;
   for (const Shard& sh : shards_) st.merge(sh.stats);
   st.num_nodes = cfg_.num_nodes();
@@ -284,14 +716,35 @@ SimStats SimKernel::collect_stats() {
 SimStats SimKernel::run() {
   const Cycle inject_until = measure_end_;
   const Cycle hard_limit = measure_end_ + cfg_.drain_limit_cycles;
+  const bool event = use_event_mode();
+  if (event) {
+    // Pin the arrival-scan bound to the injection stop: next_arrival
+    // consumes exactly the RNG draws per-cycle polling would, and a
+    // node whose pattern never generates cannot stall the scan.
+    if (arrival_limit_ < inject_until) arrival_limit_ = inject_until;
+    arrival_limit_final_ = true;
+  }
+  // Precomputed next window boundary: one compare per cycle instead
+  // of a flag test plus an add, and in event mode the skip cap that
+  // keeps windows closing at exact cycle boundaries.
+  Cycle next_window_end =
+      windowed_ ? window_begin_ + window_cycles_ : kNoEventCycle;
   while (true) {
     injecting_ = now_ < inject_until;
+    if (event) {
+      Cycle cap = hard_limit;
+      if (injecting_ && inject_until < cap) cap = inject_until;
+      if (next_window_end < cap) cap = next_window_end;
+      skip_cap_ = cap;
+    }
     step();
     // Window boundaries are pure functions of now_, which advances
     // identically on every engine — so the windowed series flushes at
-    // the same cycles regardless of shard count.
-    if (windowed_ && now_ >= window_begin_ + window_cycles_) {
-      const MetricsWindow w = flush_window(window_begin_ + window_cycles_);
+    // the same cycles regardless of shard count.  A skip never jumps
+    // a boundary (skip_cap_), so now_ lands on it exactly.
+    if (now_ >= next_window_end) {
+      const MetricsWindow w = flush_window(next_window_end);
+      next_window_end = window_begin_ + window_cycles_;
       if (window_control_) {
         const WindowVerdict v = window_control_(w);
         if (v == WindowVerdict::kCancel) {
@@ -310,6 +763,7 @@ SimStats SimKernel::run() {
       break;
     }
   }
+  skip_cap_ = -1;
   // Flush the final partial window (drain-tail events land here; a
   // control-terminated run already closed its last window at the
   // boundary it stopped on, so nothing flushes twice).

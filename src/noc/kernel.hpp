@@ -26,8 +26,11 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "noc/parallel/partition.hpp"
@@ -96,6 +99,52 @@ struct Shard {
   // Written only inside this shard's component phase.
   FlitTraceRing trace;
   std::unique_ptr<ObserverSlice> observer;
+
+  // --- Event-driven (cycle-skip) state ------------------------------
+  // All vectors are sized once in SimKernel::prepare_event_state() and
+  // then used with explicit counts — the steady-state event machinery
+  // never touches the heap (PR 6 no-alloc contract).  Everything here
+  // is touched only from this shard's phases (or from the calling
+  // thread between steps), so the sharded engine needs no locks.
+
+  // Min-heap of (cycle, node): the next pending traffic arrival per
+  // node of this shard (std::push_heap/pop_heap over [0, arrival_count)).
+  std::vector<std::pair<Cycle, NodeId>> arrivals;
+  std::size_t arrival_count = 0;
+  // Nodes whose arrival scan exhausted the current arrival limit;
+  // rescanned when the limit extends (bare-step mode only).
+  std::vector<NodeId> dry_nodes;
+  std::size_t dry_count = 0;
+  // Active component worklists.  Sorted ascending at the top of each
+  // executed cycle (so tick order, trace pushes and completion
+  // collection match the per-cycle kernel exactly), compacted in
+  // place as components go quiescent, appended to by exchange-phase
+  // wake-ups.
+  std::vector<NodeId> active_nics;
+  std::size_t nic_count = 0;
+  std::vector<NodeId> active_routers;
+  std::size_t router_count = 0;
+  // Exchange-phase candidate links this cycle (dirty ∪ wet ∪ owned
+  // boundary links, deduped via SimKernel::link_marked_) and the wet
+  // set carried to the next cycle.
+  std::vector<int> cand_links;
+  std::size_t cand_count = 0;
+  std::vector<int> wet_links;
+  std::size_t wet_count = 0;
+  std::vector<int> wet_scratch;
+  // Routers of this shard that source a link owned by another shard:
+  // their inbound boundary credit channels are fed by an exchange
+  // phase this shard never runs, so instead of cross-shard wake-ups
+  // they are probed every executed cycle and in the horizon.
+  std::vector<NodeId> pinned;
+  bool arrivals_seeded = false;
+  // Arrival limit the last seed/rescan covered (dry nodes rescan when
+  // the kernel extends the limit past this).
+  Cycle arrival_scanned_to = 0;
+  // Horizon negotiation slot (sharded engine): this shard's proposed
+  // quiescence horizon, written between the start and horizon
+  // barriers, read by every shard after.
+  Cycle horizon = 0;
 };
 
 class SimKernel {
@@ -117,8 +166,14 @@ class SimKernel {
   // Total router ticks taken on the idle fast path so far, summed
   // over shards.  Deterministic for a given config+seed (the
   // quiescence predicate reads only pre-cycle state), and zero when
-  // cfg.enable_idle_fastpath is off.
+  // cfg.enable_idle_fastpath is off.  In cycle-skip mode this counts
+  // every deferred-idle router cycle as it is flushed.
   std::int64_t idle_fast_ticks() const;
+
+  // Cycles the event-driven kernel advanced without executing (whole
+  // fabric provably quiescent until the horizon).  Observability
+  // only — like idle_fast_ticks, deliberately NOT part of SimStats.
+  std::int64_t skipped_cycles() const { return skipped_cycles_; }
 
   Network& network() { return net_; }
   const Network& network() const { return net_; }
@@ -228,6 +283,93 @@ class SimKernel {
   // the merged window so the run loop can consult the control hook.
   MetricsWindow flush_window(Cycle end);
 
+  // --- Event-driven (cycle-skip) machinery --------------------------
+  //
+  // The event kernel keeps, per shard, the set of components with
+  // work (active lists, woken by exchange-phase admissions), the set
+  // of links with staged or in-pipe items (dirty/wet lists), and a
+  // min-heap of pending traffic arrivals.  An executed cycle touches
+  // only those sets; when every set is empty the shard proposes a
+  // quiescence horizon and the clock jumps.  Idle routers are not
+  // ticked at all — their idle accounting (activity tap + power hook)
+  // is deferred in idle_from_ and flushed in one tick_idle_n() batch
+  // at the next full tick, window boundary, or stats collection,
+  // which keeps every power column and idle histogram bit-identical
+  // to per-cycle stepping.
+
+  // Whether this step should take the event-driven path.  Latched on
+  // first use; observers force the per-cycle path (their on_cycle
+  // contract is every-cycle).
+  bool use_event_mode();
+  // Sizes the per-shard event state; called from init_partition.
+  void prepare_event_state();
+  // This shard's proposed horizon: now_ when it has any work this
+  // cycle, else the earliest future event it knows of (arrival heap,
+  // pinned-router deliveries), else kNoEventCycle.  Also performs the
+  // shard's lazy arrival-heap seeding/extension.  Runs under a
+  // component phase scope.
+  static constexpr Cycle kNoEventCycle = std::numeric_limits<Cycle>::max();
+  Cycle shard_horizon(std::size_t shard_index);
+  // Event-driven component phase for one shard (executed cycles only).
+  void step_shard_event_components(std::size_t shard_index);
+  // Event-driven exchange phase: tick only candidate links, wake
+  // consumers of admissions, rebuild the wet set.
+  void step_shard_event_channels(std::size_t shard_index);
+  // Skip path: advance this shard's wet links by `d` cycles.
+  void skip_shard_channels(std::size_t shard_index, Cycle d);
+  // Full event-driven step for a single-shard engine: horizon, then
+  // either one executed cycle or a skip to min(horizon, cap).
+  void step_event_single();
+  // Bare-step arrival-limit maintenance: keeps the scan bound a chunk
+  // ahead of now_ so next_arrival never scans unboundedly (a node
+  // whose pattern always self-addresses would otherwise never yield).
+  void maintain_arrival_limit();
+  // Flushes every router's deferred idle accounting up to `upto`
+  // (calling thread, between steps; used by flush_window and
+  // collect_stats, and when leaving event mode).
+  void flush_deferred_idle(Cycle upto);
+  // The cap run() imposes on a skip this step (next window boundary,
+  // injection stop, drain limit); < 0 means bare stepping (cap one
+  // cycle past now_).
+  Cycle skip_cap_ = -1;
+  // Arrival-scan bound: next_arrival() consumes RNG draws only for
+  // cycles < arrival_limit_, exactly matching per-cycle polling.
+  // run() pins it to the injection stop; bare stepping extends it
+  // chunk-wise ahead of now_ and rescans dry nodes.
+  Cycle arrival_limit_ = 0;
+  bool arrival_limit_final_ = false;
+  std::int64_t skipped_cycles_ = 0;
+  bool event_mode_latched_ = false;
+  bool event_mode_ = false;
+
+  // Per-node event bookkeeping (indexed by node; each entry touched
+  // only by its owning shard's phases or the calling thread between
+  // steps).
+  std::vector<std::uint8_t> nic_active_flag_;
+  std::vector<std::uint8_t> router_active_flag_;
+  // First cycle not yet accounted in each router's idle bookkeeping.
+  std::vector<Cycle> idle_from_;
+  // Links each node's router/NIC can stage onto whose exchange this
+  // node's own shard runs (cross-shard-owned links are boundary links,
+  // ticked unconditionally by their owner).
+  std::vector<std::vector<int>> node_dirty_links_;
+  // Per-link admission wake-up routing.
+  struct LinkWake {
+    NodeId flit_node = kInvalidNode;    // flit-pipe consumer
+    NodeId credit_node = kInvalidNode;  // credit-pipe consumer
+    std::uint8_t flit_is_nic = 0;
+    std::uint8_t credit_is_nic = 0;
+    // Credit consumer lives in another shard (boundary link): no
+    // wake-up — the consumer is pinned there instead.
+    std::uint8_t credit_cross = 0;
+  };
+  std::vector<LinkWake> link_wake_;
+  std::vector<std::uint8_t> link_marked_;  // exchange-candidate dedup
+  // Per-shard boundary links (owned here, fed from another shard):
+  // ticked every executed cycle since the producing shard's activity
+  // is invisible here.
+  std::vector<std::vector<int>> boundary_links_of_;
+
   SimConfig cfg_;
   Network net_;
   TrafficGenerator gen_;
@@ -256,6 +398,28 @@ class SimKernel {
 
  private:
   void make_observer_slices();
+  // Exchange-phase wake-ups (same shard as the admission by
+  // construction; see LinkWake::credit_cross).
+  void wake_nic(Shard& sh, NodeId n) {
+    if (nic_active_flag_[static_cast<std::size_t>(n)] == 0) {
+      nic_active_flag_[static_cast<std::size_t>(n)] = 1;
+      sh.active_nics[sh.nic_count++] = n;
+    }
+  }
+  void wake_router(Shard& sh, NodeId n) {
+    if (router_active_flag_[static_cast<std::size_t>(n)] == 0) {
+      router_active_flag_[static_cast<std::size_t>(n)] = 1;
+      sh.active_routers[sh.router_count++] = n;
+    }
+  }
+  void mark_dirty_links(Shard& sh, NodeId n) {
+    for (int li : node_dirty_links_[static_cast<std::size_t>(n)]) {
+      if (link_marked_[static_cast<std::size_t>(li)] == 0) {
+        link_marked_[static_cast<std::size_t>(li)] = 1;
+        sh.cand_links[sh.cand_count++] = li;
+      }
+    }
+  }
 
   ObserverFactory observer_factory_;
 };

@@ -36,6 +36,17 @@ class Nic {
   // One cycle: drain credits, eject flits, inject at most one flit.
   void tick(Cycle now);
 
+  // True when tick() would take its O(1) early-out: empty source
+  // queue, no stale completions, empty inbound pipes.  Reads only
+  // NIC-local state and the consumer side of the inbound channels
+  // (same safety argument as Router::quiescent()), so the
+  // event-driven kernel uses it to decide whether the NIC stays on
+  // the active list.
+  bool quiescent() const {
+    return queue_.empty() && completions_.empty() &&
+           !credit_in_->consumer_pending() && !eject_in_->consumer_pending();
+  }
+
   // Observability.
   int source_queue_flits() const { return static_cast<int>(queue_.size()); }
   std::int64_t flits_injected() const { return flits_injected_; }

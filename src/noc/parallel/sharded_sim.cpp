@@ -41,6 +41,7 @@ void ShardedSimulation::start_workers() {
   if (workers_running_ || shards_.size() <= 1) return;
   const int participants = num_shards();  // driver + S-1 workers
   start_barrier_ = std::make_unique<core::SpinBarrier>(participants);
+  horizon_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   exchange_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   done_barrier_ = std::make_unique<core::SpinBarrier>(participants);
   pool_ = std::make_unique<core::ThreadPool>(num_shards() - 1);
@@ -74,13 +75,59 @@ LAIN_HOT_PATH void ShardedSimulation::run_phase(std::size_t shard_index,
   if (errors_[shard_index]) return;  // poisoned shard: keep in lockstep only
   try {
     if (components) {
-      step_shard_components(shard_index);
+      if (event_mode_) {
+        step_shard_event_components(shard_index);
+      } else {
+        step_shard_components(shard_index);
+      }
     } else {
-      step_shard_channels(shard_index);
+      if (event_mode_) {
+        step_shard_event_channels(shard_index);
+      } else {
+        step_shard_channels(shard_index);
+      }
     }
   } catch (...) {
     errors_[shard_index] = std::current_exception();
   }
+}
+
+LAIN_HOT_PATH void ShardedSimulation::run_horizon(std::size_t shard_index) {
+  if (errors_[shard_index]) {
+    // Poisoned shard: propose nothing so it can't stall the others,
+    // but stay in lockstep through every barrier.
+    shards_[shard_index].horizon = kNoEventCycle;
+    return;
+  }
+  try {
+    shards_[shard_index].horizon = shard_horizon(shard_index);
+  } catch (...) {
+    errors_[shard_index] = std::current_exception();
+    shards_[shard_index].horizon = kNoEventCycle;
+  }
+}
+
+LAIN_HOT_PATH void ShardedSimulation::run_skip(std::size_t shard_index,
+                                               Cycle d) {
+  if (errors_[shard_index]) return;
+  try {
+    skip_shard_channels(shard_index, d);
+  } catch (...) {
+    errors_[shard_index] = std::current_exception();
+  }
+}
+
+LAIN_HOT_PATH Cycle ShardedSimulation::global_skip_target() const {
+  // Every participant computes this from barrier-synchronized inputs
+  // (per-shard horizons, now_, skip_cap_), so all take the same
+  // branch.  target == now_ means execute this cycle.
+  Cycle h = kNoEventCycle;
+  for (const Shard& sh : shards_) {
+    if (sh.horizon < h) h = sh.horizon;
+  }
+  if (h <= now_) return now_;
+  const Cycle cap = skip_cap_ >= 0 ? skip_cap_ : now_ + 1;
+  return h < cap ? h : cap;
 }
 
 LAIN_HOT_PATH void ShardedSimulation::worker_loop(std::size_t shard_index) {
@@ -91,6 +138,32 @@ LAIN_HOT_PATH void ShardedSimulation::worker_loop(std::size_t shard_index) {
       start_barrier_->arrive_and_wait();
     }
     if (stop_requested_) return;
+    if (event_mode_) {
+      run_horizon(shard_index);
+      {
+        LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                             barrier_ns);
+        horizon_barrier_->arrive_and_wait();
+      }
+      const Cycle target = global_skip_target();
+      if (target <= now_) {
+        run_phase(shard_index, /*components=*/true);
+        {
+          LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                               barrier_ns);
+          exchange_barrier_->arrive_and_wait();
+        }
+        run_phase(shard_index, /*components=*/false);
+      } else {
+        run_skip(shard_index, target - now_);
+      }
+      {
+        LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
+                             barrier_ns);
+        done_barrier_->arrive_and_wait();
+      }
+      continue;
+    }
     run_phase(shard_index, /*components=*/true);
     {
       LAIN_TELEMETRY_SCOPE(telemetry_, static_cast<int>(shard_index),
@@ -113,17 +186,54 @@ void ShardedSimulation::rethrow_any_error() {
 }
 
 LAIN_HOT_PATH void ShardedSimulation::step() {
+  const bool event = use_event_mode();
   if (shards_.size() == 1) {
+    if (event) {
+      step_event_single();
+      return;
+    }
     step_shard_components(0);
     step_shard_channels(0);
     ++now_;
     return;
   }
 
+  if (event) maintain_arrival_limit();
   start_workers();
   {
     LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
     start_barrier_->arrive_and_wait();
+  }
+  if (event) {
+    run_horizon(0);
+    {
+      LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+      horizon_barrier_->arrive_and_wait();
+    }
+    const Cycle target = global_skip_target();
+    if (target <= now_) {
+      run_phase(0, /*components=*/true);
+      {
+        LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+        exchange_barrier_->arrive_and_wait();
+      }
+      run_phase(0, /*components=*/false);
+      {
+        LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+        done_barrier_->arrive_and_wait();
+      }
+      ++now_;
+    } else {
+      run_skip(0, target - now_);
+      {
+        LAIN_TELEMETRY_SCOPE(telemetry_, 0, barrier_ns);
+        done_barrier_->arrive_and_wait();
+      }
+      skipped_cycles_ += target - now_;
+      now_ = target;
+    }
+    rethrow_any_error();
+    return;
   }
   run_phase(0, /*components=*/true);
   {

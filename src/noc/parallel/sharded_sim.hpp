@@ -81,12 +81,24 @@ class ShardedSimulation final : public SimKernel {
   void run_phase(std::size_t shard_index, bool components);
   void rethrow_any_error();
 
+  // Cycle-skip protocol (four barriers instead of three).  Between
+  // the start and horizon barriers every shard publishes its proposed
+  // quiescence horizon; after the horizon barrier every participant
+  // recomputes the identical global minimum (all inputs are
+  // barrier-synchronized) and takes the same branch — execute one
+  // cycle through the usual component/exchange phases, or advance its
+  // own wet links across the skip and meet at the done barrier.
+  void run_horizon(std::size_t shard_index);
+  void run_skip(std::size_t shard_index, Cycle d);
+  Cycle global_skip_target() const;
+
   bool pin_threads_ = false;
   core::ThreadBudget::Lease lease_;  // extra worker lanes (may be empty)
 
   // Worker machinery (only engaged with more than one shard).
   std::unique_ptr<core::ThreadPool> pool_;
   std::unique_ptr<core::SpinBarrier> start_barrier_;
+  std::unique_ptr<core::SpinBarrier> horizon_barrier_;
   std::unique_ptr<core::SpinBarrier> exchange_barrier_;
   std::unique_ptr<core::SpinBarrier> done_barrier_;
   bool workers_running_ = false;

@@ -81,6 +81,42 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Router::tick_idle() {
   if (power_hook_ != nullptr) power_hook_->on_cycle(events_);
 }
 
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::tick_idle_n(std::int64_t n) {
+  rc_check_mutation("Router::tick_idle_n");
+  LAIN_SHARD_PHASE(component);
+  if (n <= 0) return;
+  // A deferred run of n idle cycles, flushed in one call: the event
+  // counters end empty (as after n tick_idle()s), the activity tap
+  // absorbs the run in O(1) integer math, and the power hook replays
+  // its per-cycle floating-point sequence so energy accounting is
+  // bit-identical to n per-cycle calls.
+  events_ = RouterEvents{};
+  activity_.record_idle(n);
+  if (power_hook_ != nullptr) power_hook_->on_idle_cycles(n);
+}
+
+LAIN_HOT_PATH LAIN_NO_ALLOC Cycle Router::next_event_cycle(Cycle now) const {
+  if (buffered_flits_ != 0 || owned_out_vcs_ != 0) return now;
+  Cycle next = kNoEvent;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const FlitChannel* fc = in_flits_[static_cast<size_t>(p)];
+    if (fc != nullptr) {
+      const int d = fc->consumer_next_delivery();
+      if (d >= 0 && now + static_cast<Cycle>(d) < next) {
+        next = now + static_cast<Cycle>(d);
+      }
+    }
+    const CreditChannel* cc = in_credits_[static_cast<size_t>(p)];
+    if (cc != nullptr) {
+      const int d = cc->consumer_next_delivery();
+      if (d >= 0 && now + static_cast<Cycle>(d) < next) {
+        next = now + static_cast<Cycle>(d);
+      }
+    }
+  }
+  return next;
+}
+
 LAIN_HOT_PATH LAIN_NO_ALLOC void Router::receive() {
   for (int p = 0; p < kNumPorts; ++p) {
     FlitChannel* ch = in_flits_[static_cast<size_t>(p)];

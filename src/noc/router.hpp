@@ -25,11 +25,15 @@
 // and tick_idle() collapses the cycle to the bookkeeping every
 // downstream consumer still needs (events, crossbar activity, power
 // hook) — bit-identical to what the full pipeline would have done.
+// The event-driven kernel goes further still: tick_idle_n(n) accounts
+// a whole deferred run of n idle cycles at once, and
+// next_event_cycle(now) reports when the router next has work.
 
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -60,6 +64,15 @@ class PowerHook {
   virtual bool xbar_ready() = 0;
   // Called at the end of every router cycle with the event counts.
   virtual void on_cycle(const RouterEvents& ev) = 0;
+  // Batched idle notification for cycle skipping: account `n`
+  // consecutive event-free cycles.  The default replays on_cycle with
+  // empty events n times, so any hook is bit-identical by
+  // construction; implementations may override only with a loop whose
+  // floating-point operation sequence matches exactly.
+  virtual void on_idle_cycles(std::int64_t n) {
+    const RouterEvents empty{};
+    for (std::int64_t i = 0; i < n; ++i) on_cycle(empty);
+  }
 };
 
 class Router {
@@ -99,6 +112,24 @@ class Router {
   // the power hook with empty events.  Must only be called when
   // quiescent(); checked in Debug builds.
   void tick_idle();
+
+  // Batched idle accounting for the cycle-skipping kernel: account n
+  // consecutive idle cycles exactly as n tick_idle() calls would —
+  // the crossbar activity absorbs the whole run in O(1) and the power
+  // hook gets one on_idle_cycles(n) (which replays its per-cycle
+  // floating-point sequence, so energy columns stay bit-identical).
+  // Unlike tick_idle() this is also used retroactively: the kernel
+  // may defer a sleeping router's accounting and flush it here just
+  // before the next full tick().  n == 0 is a no-op.
+  void tick_idle_n(std::int64_t n);
+
+  // Horizon probe for cycle skipping: the earliest cycle >= now at
+  // which this router provably has work.  `now` itself when anything
+  // is buffered or an output VC is owned; otherwise now + the nearest
+  // inbound flit/credit delivery; kNoEvent when fully quiescent with
+  // empty pipes.  Same consumer-side safety argument as quiescent().
+  static constexpr Cycle kNoEvent = std::numeric_limits<Cycle>::max();
+  Cycle next_event_cycle(Cycle now) const;
 
   const RouterEvents& last_events() const { return events_; }
   const CrossbarActivity& activity() const { return activity_; }

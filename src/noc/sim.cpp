@@ -7,6 +7,10 @@ Simulation::Simulation(const SimConfig& cfg) : SimKernel(cfg) {
 }
 
 void Simulation::step() {
+  if (use_event_mode()) {
+    step_event_single();
+    return;
+  }
   step_shard_components(0);
   step_shard_channels(0);
   ++now_;

@@ -14,10 +14,12 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg) {
   wire_mesh();
 }
 
-Network::Link* Network::make_link(int latency, NodeId source, NodeId owner) {
+Network::Link* Network::make_link(int latency, NodeId source, NodeId owner,
+                                  LinkKind kind) {
   links_.push_back(std::make_unique<Link>(latency));
   link_sources_.push_back(source);
   link_owners_.push_back(owner);
+  link_kinds_.push_back(kind);
   return links_.back().get();
 }
 
@@ -30,8 +32,8 @@ void Network::wire_mesh() {
   for (NodeId i = 0; i < cfg_.num_nodes(); ++i) {
     // inj: NIC -> router flits, router -> NIC credits.
     // ej:  router -> NIC flits, NIC -> router credits.
-    Link* inj = make_link(1, i, i);
-    Link* ej = make_link(1, i, i);
+    Link* inj = make_link(1, i, i, LinkKind::kInjection);
+    Link* ej = make_link(1, i, i, LinkKind::kEjection);
     routers_[static_cast<size_t>(i)]->connect_input(Dir::kLocal, &inj->flits,
                                                     &inj->credits);
     routers_[static_cast<size_t>(i)]->connect_output(Dir::kLocal, &ej->flits,

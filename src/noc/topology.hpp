@@ -35,6 +35,34 @@ class Network {
     l.flits.tick();
     l.credits.tick();
   }
+
+  // Event-driven exchange tick: like tick_link, but reports what the
+  // kernel's wake/wet bookkeeping needs — whether a flit / credit was
+  // admitted into its pipe this cycle (the consumer must wake) and
+  // whether anything is still traversing (the link stays "wet" and
+  // must keep ticking / be advanced across skips).
+  struct LinkTickEvents {
+    bool flit_admitted = false;
+    bool credit_admitted = false;
+    bool wet = false;
+  };
+  LAIN_HOT_PATH LAIN_NO_ALLOC LinkTickEvents tick_link_ev(int i) {
+    Link& l = *links_[static_cast<size_t>(i)];
+    LinkTickEvents ev;
+    ev.flit_admitted = l.flits.tick();
+    ev.credit_admitted = l.credits.tick();
+    ev.wet = l.flits.pipe_count() > 0 || l.credits.pipe_count() > 0;
+    return ev;
+  }
+
+  // Cycle-skip advance: both channel pipes move n cycles closer to
+  // delivery in one call (exchange phase; see Channel::advance_idle
+  // for the preconditions the kernel's horizon guarantees).
+  LAIN_HOT_PATH LAIN_NO_ALLOC void advance_link_idle(int i, int n) {
+    Link& l = *links_[static_cast<size_t>(i)];
+    l.flits.advance_idle(n);
+    l.credits.advance_idle(n);
+  }
   // The node whose router/NIC consumes this link's flits.  Assigning
   // each link to its consumer's shard keeps boundary traffic local to
   // one side; any unique assignment would be correct (the exchange
@@ -48,6 +76,15 @@ class Network {
   // injection/ejection links have source == owner (never boundary).
   NodeId link_source(int i) const {
     return link_sources_.at(static_cast<size_t>(i));
+  }
+  // What sits at each end of the link — the event-driven kernel needs
+  // this to route admission wake-ups to the right component:
+  //   kInjection  NIC(source) -> router(owner) flits, credits back
+  //   kEjection   router(source) -> NIC(owner... same node) flits
+  //   kRouter     router(source) -> router(owner) flits
+  enum class LinkKind : std::uint8_t { kInjection, kEjection, kRouter };
+  LinkKind link_kind(int i) const {
+    return link_kinds_.at(static_cast<size_t>(i));
   }
 
   // Flits resident anywhere in the fabric (buffers + channels).
@@ -76,8 +113,10 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<NodeId> link_owners_;   // consuming endpoint per link
   std::vector<NodeId> link_sources_;  // producing endpoint per link
+  std::vector<LinkKind> link_kinds_;  // what each endpoint is
 
-  Link* make_link(int latency, NodeId source, NodeId owner);
+  Link* make_link(int latency, NodeId source, NodeId owner,
+                  LinkKind kind = LinkKind::kRouter);
   void wire_mesh();
 };
 

@@ -1,5 +1,6 @@
 #include "noc/traffic.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace lain::noc {
@@ -69,6 +70,7 @@ TrafficGenerator::TrafficGenerator(const SimConfig& cfg) : cfg_(cfg) {
   packet_rate_ =
       cfg.injection_rate / cfg.packet_length_flits / cfg.burst_duty;
   on_.assign(static_cast<size_t>(cfg.num_nodes()), 1);
+  arrivals_.assign(static_cast<size_t>(cfg.num_nodes()), NodeArrival{});
   // Geometric dwell times: mean ON dwell = burst_on_mean_cycles, and
   // the OFF dwell follows from the duty cycle.
   p_off_ = 1.0 / cfg.burst_on_mean_cycles;
@@ -81,8 +83,8 @@ bool TrafficGenerator::is_on(NodeId src) const {
   return on_.at(static_cast<size_t>(src)) != 0;
 }
 
-NodeId TrafficGenerator::maybe_generate(NodeId src) {
-  Rng& rng = rngs_.at(static_cast<size_t>(src));
+NodeId TrafficGenerator::draw_once(NodeId src) {
+  Rng& rng = rngs_[static_cast<size_t>(src)];
   if (modulated_) {
     bool state = on_[static_cast<size_t>(src)] != 0;
     if (state ? rng.bernoulli(p_off_) : rng.bernoulli(p_on_)) {
@@ -95,6 +97,35 @@ NodeId TrafficGenerator::maybe_generate(NodeId src) {
   NodeId dst = pattern_destination(cfg_.pattern, src, cfg_, rng);
   if (dst == src) return kInvalidNode;  // no self traffic
   return dst;
+}
+
+NodeId TrafficGenerator::maybe_generate(NodeId src) {
+  (void)rngs_.at(static_cast<size_t>(src));  // bounds check once
+  return draw_once(src);
+}
+
+Cycle TrafficGenerator::next_arrival(NodeId src, Cycle horizon) {
+  NodeArrival& a = arrivals_.at(static_cast<size_t>(src));
+  if (a.pending_cycle != kNoArrival) {
+    return a.pending_cycle < horizon ? a.pending_cycle : kNoArrival;
+  }
+  while (a.clock < horizon) {
+    const Cycle cycle = a.clock++;
+    const NodeId dst = draw_once(src);
+    if (dst != kInvalidNode) {
+      a.pending_cycle = cycle;
+      a.pending_dst = dst;
+      return cycle;
+    }
+  }
+  return kNoArrival;
+}
+
+NodeId TrafficGenerator::take_arrival(NodeId src) {
+  NodeArrival& a = arrivals_[static_cast<size_t>(src)];
+  assert(a.pending_cycle != kNoArrival && "take_arrival without a pending one");
+  a.pending_cycle = kNoArrival;
+  return a.pending_dst;
 }
 
 }  // namespace lain::noc

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "noc/config.hpp"
@@ -40,7 +41,43 @@ class TrafficGenerator {
   // modulation).  Exposed for tests.
   bool is_on(NodeId src) const;
 
+  // --- Event-driven interface (cycle skipping) -------------------------
+  //
+  // next_arrival / take_arrival replay the exact per-cycle draw
+  // sequence of maybe_generate against the same per-node stream, so a
+  // kernel that polls arrivals instead of cycles consumes RNG state
+  // bit-identically to one that calls maybe_generate every cycle.
+  // Each node keeps its own traffic clock; the two interfaces must not
+  // be mixed on the same node within one run.
+
+  // Cycle of node `src`'s next packet arrival at or after its current
+  // traffic clock, scanning no further than `horizon` (exclusive) —
+  // the kernel passes the injection stop cycle, which also caps RNG
+  // consumption at exactly what per-cycle polling would have drawn.
+  // Returns the arrival cycle and caches the destination, or
+  // kNoArrival when no packet arrives before `horizon`.  Idempotent
+  // until take_arrival(src).
+  static constexpr Cycle kNoArrival = std::numeric_limits<Cycle>::max();
+  Cycle next_arrival(NodeId src, Cycle horizon);
+
+  // Consume the cached arrival for `src` (destination of the packet
+  // whose cycle next_arrival returned).  Precondition: a cached
+  // arrival exists.
+  NodeId take_arrival(NodeId src);
+
  private:
+  // One per-cycle draw for `src` (burst flip + injection Bernoulli +
+  // pattern draws); kInvalidNode when that cycle injects nothing.
+  NodeId draw_once(NodeId src);
+
+  // Per-node event-driven state: the next cycle whose draw has not
+  // happened yet, and the cached pending arrival (if any).
+  struct NodeArrival {
+    Cycle clock = 0;
+    Cycle pending_cycle = kNoArrival;
+    NodeId pending_dst = kInvalidNode;
+  };
+
   SimConfig cfg_;
   std::vector<Rng> rngs_;  // per-node streams
   double packet_rate_;  // packets / node / cycle in the ON state
@@ -51,6 +88,9 @@ class TrafficGenerator {
   std::vector<std::uint8_t> on_;
   double p_off_;          // P[ON -> OFF] per cycle
   double p_on_;           // P[OFF -> ON] per cycle
+  // Event-driven per-node arrival state (same sharding story as on_:
+  // each node's entry is touched only by the shard that owns it).
+  std::vector<NodeArrival> arrivals_;
 };
 
 }  // namespace lain::noc

@@ -75,6 +75,30 @@ for preset in $PRESETS; do
       exit 1
     fi
     echo "check_all: scenario-file smoke OK ($jobs_file)"
+
+    # Cycle-skip bit-identity smoke: the same sharded sweep with and
+    # without --cycle-skip must emit byte-identical CSV (the in-depth
+    # matrix lives in tests/test_cycle_skip.cpp; this pins the CLI
+    # path end to end).
+    skip_base="build/$preset/check_all_skip_off.csv"
+    skip_on="build/$preset/check_all_skip_on.csv"
+    if ! "build/$preset/lain_bench" injection_sweep --rates 0.05 \
+        --patterns uniform --schemes sdpc --sim-threads 2 \
+        --csv >"$skip_base"; then
+      echo "check_all: cycle-skip smoke: baseline run failed" >&2
+      exit 1
+    fi
+    if ! "build/$preset/lain_bench" injection_sweep --rates 0.05 \
+        --patterns uniform --schemes sdpc --sim-threads 2 \
+        --cycle-skip --csv >"$skip_on"; then
+      echo "check_all: cycle-skip smoke: --cycle-skip run failed" >&2
+      exit 1
+    fi
+    if ! cmp -s "$skip_base" "$skip_on"; then
+      echo "check_all: cycle-skip smoke: stats diverge with --cycle-skip" >&2
+      exit 1
+    fi
+    echo "check_all: cycle-skip bit-identity smoke OK"
   fi
 done
 

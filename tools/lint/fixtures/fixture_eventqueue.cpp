@@ -1,0 +1,29 @@
+// Seeded violation: allocating scheduler containers inside marked hot
+// extents.  Never compiled — lain_lint.py --self-test asserts the
+// event-queue rule reports both shapes (std::priority_queue and a
+// node-allocating ordered container used as a pending-event index).
+#include <cstdint>
+#include <map>
+#include <queue>
+
+#define LAIN_NO_ALLOC
+#define LAIN_HOT_PATH
+
+LAIN_HOT_PATH std::int64_t next_event_via_pq() {
+  std::priority_queue<std::int64_t> pending;
+  pending.push(42);
+  return pending.top();
+}
+
+LAIN_NO_ALLOC std::int64_t next_event_via_map() {
+  std::map<std::int64_t, int> schedule;
+  schedule[7] = 1;
+  return schedule.begin()->first;
+}
+
+std::int64_t cold_schedule() {
+  // Unmarked function: ordered containers are fine on cold paths.
+  std::map<std::int64_t, int> schedule;
+  schedule[7] = 1;
+  return schedule.begin()->first;
+}

@@ -32,6 +32,15 @@ contract markers in src/core/contracts.hpp:
                  hot extents: frames go out after the boundary, never
                  from inside a shard phase.
 
+  event-queue    no std::priority_queue or node-allocating ordered
+                 container (std::map/set/multimap/multiset) inside a
+                 LAIN_HOT_PATH or LAIN_NO_ALLOC extent: the
+                 event-driven kernel schedules with std::push_heap /
+                 std::pop_heap over preallocated vectors precisely so
+                 the horizon negotiation stays allocation-free in
+                 steady state — a drive-by "cleaner" rewrite to
+                 priority_queue would reintroduce per-event churn.
+
 Suppress a single finding with a `LAIN_LINT_ALLOW(<rule>): why`
 comment on the offending line or up to three lines above it.
 
@@ -77,6 +86,15 @@ TELEMETRY_PATTERNS = [
      "sweep-service socket machinery"),
     (re.compile(r"\bwrite_line\s*\(|::\s*(?:send|recv)\s*\("),
      "socket frame write"),
+]
+
+# Allocating schedulers — forbidden in marked hot extents.  The event
+# kernel's arrival heap is std::push_heap/pop_heap over a preallocated
+# vector; these types would put an allocation on every event.
+EVENTQUEUE_PATTERNS = [
+    (re.compile(r"\bpriority_queue\s*<"), "std::priority_queue scheduler"),
+    (re.compile(r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<"),
+     "node-allocating ordered container"),
 ]
 
 DETERMINISM_PATTERNS = [
@@ -199,6 +217,26 @@ def check_telemetry_hooks(path, stripped, allowed):
     return findings
 
 
+def check_event_queue(path, stripped, allowed):
+    """event-queue: no allocating scheduler containers in hot extents
+    (heap algorithms over preallocated vectors are the approved shape)."""
+    findings = []
+    waived = allowed.get("event-queue", set())
+    for marker in ("LAIN_HOT_PATH", "LAIN_NO_ALLOC"):
+        for start, end in marker_extents(stripped, marker):
+            body = stripped[start:end]
+            for pat, what in EVENTQUEUE_PATTERNS:
+                for m in pat.finditer(body):
+                    ln = line_of(stripped, start + m.start())
+                    if ln in waived:
+                        continue
+                    findings.append(
+                        "%s:%d: [event-queue] %s in a %s extent (schedule "
+                        "with std::push_heap/pop_heap over a preallocated "
+                        "vector)" % (path, ln, what, marker))
+    return findings
+
+
 def check_determinism(path, rel, stripped, allowed):
     if str(rel).replace("\\", "/") in DETERMINISM_EXEMPT:
         return []
@@ -301,6 +339,7 @@ def lint_file(path, rel):
     findings += check_extent_rule(path, raw, stripped, allowed, "hot-throw",
                                   [(THROW_PATTERN, "throw")])
     findings += check_telemetry_hooks(path, stripped, allowed)
+    findings += check_event_queue(path, stripped, allowed)
     findings += check_determinism(path, rel, stripped, allowed)
     findings += check_mutable_globals(path, stripped, allowed)
     return findings
@@ -325,6 +364,7 @@ def self_test():
         "fixture_global.cpp": "[mutable-global]",
         "fixture_telemetry.cpp": "[telemetry-hook]",
         "fixture_serve.cpp": "[telemetry-hook]",
+        "fixture_eventqueue.cpp": "[event-queue]",
     }
     failures = []
     for name, tag in sorted(expect.items()):
