@@ -29,21 +29,25 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: lain_serve --socket PATH [--workers N]\n"
-    "                  [--abort-on-saturation MULT]\n"
+    "                  [--abort-on-saturation MULT] [--job-timeout-s S]\n"
     "\n"
     "  --socket              UNIX socket path to listen on (required)\n"
     "  --workers             job worker lanes to lease from the thread\n"
     "                        budget (0 = the whole budget)\n"
     "  --abort-on-saturation default saturation guard for jobs that\n"
     "                        stream windows (0 = none)\n"
+    "  --job-timeout-s       per-job wall-clock timeout; timed-out jobs\n"
+    "                        cancel at their next window boundary and\n"
+    "                        report aborted_timeout (0 = none)\n"
     "\n"
     "Protocol and job schema: README \"Sweep service\".\n";
 
 int run(int argc, char** argv) {
   using lain::core::ArgParser;
-  const ArgParser args(argc - 1, argv + 1,
-                       {"socket", "workers", "abort-on-saturation"},
-                       {"help"});
+  const ArgParser args(
+      argc - 1, argv + 1,
+      {"socket", "workers", "abort-on-saturation", "job-timeout-s"},
+      {"help"});
   if (args.has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
@@ -57,6 +61,7 @@ int run(int argc, char** argv) {
   opt.socket_path = args.get("socket", "");
   opt.workers = args.get_int("workers", 0);
   opt.abort_latency_mult = args.get_double("abort-on-saturation", 0.0);
+  opt.job_timeout_s = args.get_double("job-timeout-s", 0.0);
   if (opt.socket_path.empty()) {
     std::fprintf(stderr, "lain_serve: --socket PATH is required\n\n%s",
                  kUsage);
@@ -64,6 +69,10 @@ int run(int argc, char** argv) {
   }
   if (opt.abort_latency_mult < 0.0) {
     std::fputs("lain_serve: --abort-on-saturation must be >= 0\n", stderr);
+    return 2;
+  }
+  if (opt.job_timeout_s < 0.0) {
+    std::fputs("lain_serve: --job-timeout-s must be >= 0\n", stderr);
     return 2;
   }
 

@@ -6,6 +6,12 @@
 //   lain_submit --socket PATH --stats             print service stats
 //   lain_submit --socket PATH --shutdown          stop the daemon
 //
+// --retry N retries the initial connect up to N times with jittered
+// exponential backoff (--backoff-ms B, default 100) when the daemon
+// is not up yet (socket file missing, or connection refused) — so a
+// script can start lain_serve and lain_submit concurrently without a
+// sleep.  Other connect failures are never retried.
+//
 // Job objects use the scenario wire format (README "Sweep service"):
 //   {"scenario":"injection_sweep","rates":"0.05","metrics-window":"500"}
 //
@@ -34,6 +40,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: lain_submit --socket PATH [--job JSON]\n"
     "                   [--scenario-file FILE] [--cancel JOB]\n"
+    "                   [--retry N] [--backoff-ms MS]\n"
     "                   [--stats] [--shutdown]\n";
 
 // Wraps one wire-format job object into a submit frame by splicing
@@ -69,7 +76,14 @@ int drain_jobs(lain::serve::Client& client, int pending, bool* failed) {
     if (!lain::telemetry::json_string_field(line, "type", &type)) continue;
     if (type == "error") {
       *failed = true;
-      if (unanswered > 0) --unanswered;
+      // Only job-LESS error frames answer a submit; an error frame
+      // carrying a job id belongs to an already-accepted job (its
+      // done frame still follows).
+      std::string job_id;
+      if (!lain::telemetry::json_string_field(line, "job", &job_id) &&
+          unanswered > 0) {
+        --unanswered;
+      }
     } else if (type == "accepted") {
       --unanswered;
       ++running;
@@ -85,9 +99,10 @@ int drain_jobs(lain::serve::Client& client, int pending, bool* failed) {
 
 int run(int argc, char** argv) {
   using lain::core::ArgParser;
-  const ArgParser args(argc - 1, argv + 1,
-                       {"socket", "job", "scenario-file", "cancel"},
-                       {"stats", "shutdown", "help"});
+  const ArgParser args(
+      argc - 1, argv + 1,
+      {"socket", "job", "scenario-file", "cancel", "retry", "backoff-ms"},
+      {"stats", "shutdown", "help"});
   if (args.has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
@@ -123,7 +138,17 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  lain::serve::Client client(socket);
+  const int retries = args.get_int("retry", 0);
+  const int backoff_ms = args.get_int("backoff-ms", 100);
+  if (retries < 0 || backoff_ms < 1) {
+    std::fprintf(stderr,
+                 "lain_submit: --retry must be >= 0 and --backoff-ms "
+                 ">= 1\n%s",
+                 kUsage);
+    return 2;
+  }
+
+  lain::serve::Client client(socket, retries, backoff_ms);
   bool failed = false;
   std::string line;
 

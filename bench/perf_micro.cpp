@@ -293,6 +293,31 @@ std::vector<Bench> make_benches() {
          }});
   }
 
+  // Degraded-fabric cost: one whole-fabric cycle of an 8x8 mesh at
+  // 0.02 after a permanent link kill, so every op runs the fault-aware
+  // route function (XY where the path is alive, escape spanning-tree
+  // around the dead link) plus the live fault controller's between-
+  // step check.  Gated against mesh_idle_fastpath-style healthy runs
+  // via the relative anchor: self-healing must stay a routing-table
+  // lookup, not a per-cycle graph search.
+  benches.push_back({"mesh_faulted_reroute", [](std::int64_t n) {
+    noc::SimConfig cfg;
+    cfg.radix_x = 8;
+    cfg.radix_y = 8;
+    cfg.vcs = 2;  // mesh + faults: 1 adaptive + 1 escape VC
+    cfg.injection_rate = 0.02;
+    cfg.fault_links = 1;
+    cfg.fault_seed = 2;
+    cfg.fault_at = 1;
+    cfg.warmup_cycles = 0;
+    cfg.measure_cycles = 1;
+    noc::Simulation sim(cfg);
+    // Step past the kill so the measured ops all run degraded.
+    for (int i = 0; i < 8; ++i) sim.step();
+    for (std::int64_t i = 0; i < n; ++i) sim.step();
+    keep(sim.network().flits_in_flight());
+  }});
+
   // Telemetry overhead pair: one 8x8-mesh kernel step per op, with the
   // full telemetry stack engaged (collector attached + 64-cycle
   // metrics window + windowed per-shard accumulation) vs the same

@@ -61,6 +61,7 @@ ReportTable injection_sweep(LainContext& ctx, const NocSweepOptions& opt,
         spec.sim.burst_duty = p.burst_duty;
         spec.sim.burst_on_mean_cycles = opt.burst_on_mean_cycles;
         spec.sim.enable_cycle_skip = opt.cycle_skip;
+        opt.fault.apply(spec.sim);
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
@@ -127,6 +128,7 @@ ReportTable idle_histogram(LainContext& ctx, const IdleHistogramOptions& opt,
         cfg.burst_duty = p.burst_duty;
         cfg.burst_on_mean_cycles = opt.burst_on_mean_cycles;
         cfg.enable_cycle_skip = opt.cycle_skip;
+        opt.fault.apply(cfg);
         return ctx.idle_histogram(cfg, opt.sim_threads, opt.partition,
                                   opt.pin_threads, opt.telemetry);
       });
@@ -196,6 +198,7 @@ ReportTable mesh_vs_torus(LainContext& ctx, const MeshVsTorusOptions& opt,
         spec.sim = make_sim_config(p.radix, topology, p.rate, p.pattern,
                                    opt.seed);
         spec.sim.enable_cycle_skip = opt.cycle_skip;
+        opt.fault.apply(spec.sim);
         spec.enable_gating = opt.gating;
         spec.sim_threads = opt.sim_threads;
         spec.partition = opt.partition;
@@ -260,6 +263,7 @@ ReportTable mesh_scaling(const MeshScalingOptions& opt) {
     cfg.warmup_cycles = opt.warmup_cycles;
     cfg.measure_cycles = opt.measure_cycles;
     cfg.enable_cycle_skip = opt.cycle_skip;
+    opt.fault.apply(cfg);
 
     // The first (partition, threads) pair anchors speedup and the
     // bit-identity check for the whole radix — every partition shape

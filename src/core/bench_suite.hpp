@@ -46,6 +46,7 @@ struct NocSweepOptions {
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
   bool cycle_skip = false;  // event-driven skipping (bit-identical stats)
+  FaultOptions fault;       // deterministic fault schedule per run
   // Streaming telemetry for every run in the sweep (the sink must be
   // thread-safe when the engine runs jobs in parallel; the built-in
   // JSONL sink is).  Records carry per-run ids, so interleaved
@@ -72,6 +73,7 @@ struct IdleHistogramOptions {
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
   bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
+  FaultOptions fault;       // see NocSweepOptions::fault
   TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // Columns: pattern rate [hotspot] [duty] [seed] runs mean p50 p95 +
@@ -94,6 +96,7 @@ struct MeshVsTorusOptions {
   noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   bool pin_threads = false;
   bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
+  FaultOptions fault;       // see NocSweepOptions::fault
   TelemetryOptions telemetry;  // see NocSweepOptions::telemetry
 };
 // One row per (pattern, radix, rate): mesh and torus latency,
@@ -115,6 +118,7 @@ struct MeshScalingOptions {
   std::vector<int> sim_threads{1, 2, 4}; // shard counts to time
   bool pin_threads = false;
   bool cycle_skip = false;  // see NocSweepOptions::cycle_skip
+  FaultOptions fault;       // see NocSweepOptions::fault
   double injection_rate = 0.05;
   noc::TrafficPattern pattern = noc::TrafficPattern::kUniform;
   noc::Cycle warmup_cycles = 200;

@@ -81,18 +81,29 @@ std::optional<telemetry::MetricsStreamer> attach_telemetry(
 // never consulted.
 void install_window_control(noc::SimKernel& kernel,
                             const TelemetryOptions& t) {
-  if (t.cancel == nullptr && t.abort_latency_mult <= 0.0) return;
+  if (t.cancel == nullptr && t.abort_latency_mult <= 0.0 &&
+      !t.abort_on_disconnect) {
+    return;
+  }
   const std::atomic<bool>* cancel = t.cancel;
   const double mult = t.abort_latency_mult;
+  const bool abort_disconnect = t.abort_on_disconnect;
+  // The disconnect guard reads the kernel's post-fault routing state;
+  // the control hook is only invoked between windows on the kernel's
+  // own run loop, so the reference stays valid and race-free.
+  noc::SimKernel* k = &kernel;
   // Zero-load latency reference: the first closed window that ejected
   // packets.  Early windows see near-zero-load latency even on runs
   // that later saturate, because congestion builds over time.
   double reference = 0.0;
   kernel.set_window_control(
-      [cancel, mult,
+      [cancel, mult, abort_disconnect, k,
        reference](const noc::SimKernel::MetricsWindow& w) mutable {
         if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
           return noc::SimKernel::WindowVerdict::kCancel;
+        }
+        if (abort_disconnect && k->unreachable_pairs() > 0) {
+          return noc::SimKernel::WindowVerdict::kAbortDisconnected;
         }
         if (mult > 0.0 && w.stats.packet_latency.count() > 0) {
           const double mean = w.stats.packet_latency.mean();
@@ -206,6 +217,11 @@ NocRunResult LainContext::run_noc(const NocRunSpec& spec) {
   r.saturated = kernel->saturated();
   r.canceled = kernel->canceled();
   r.aborted_saturated = kernel->aborted_saturated();
+  r.packets_lost = stats.packets_lost;
+  r.packets_retransmitted = stats.packets_retransmitted;
+  r.packets_unreachable_dropped = stats.packets_unreachable_dropped;
+  r.unreachable_pairs = kernel->unreachable_pairs();
+  r.aborted_disconnected = kernel->aborted_disconnected();
   return r;
 }
 

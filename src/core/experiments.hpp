@@ -51,6 +51,13 @@ struct NocRunResult {
   // only the measured cycles that elapsed.
   bool canceled = false;
   bool aborted_saturated = false;
+  // Fault-injection outcome (FaultOptions below); all zero/false when
+  // the run injected no faults.
+  std::int64_t packets_lost = 0;
+  std::int64_t packets_retransmitted = 0;
+  std::int64_t packets_unreachable_dropped = 0;
+  std::int64_t unreachable_pairs = 0;  // final fabric state
+  bool aborted_disconnected = false;
 };
 
 // Streaming-telemetry attachment for a run.  With a sink the run
@@ -77,6 +84,33 @@ struct TelemetryOptions {
   // next window boundary (checked before the run starts, too).  Not
   // owned; must outlive the run.
   const std::atomic<bool>* cancel = nullptr;
+  // Disconnect guard: abort at the first window boundary after a
+  // fault partitioned the fabric (only reachable with --fault-* plus
+  // --allow-partition; without the latter a disconnecting schedule is
+  // rejected before the run starts).  Serve callers use this to fail
+  // jobs fast instead of simulating a degraded fabric to completion.
+  bool abort_on_disconnect = false;
+};
+
+// Fault-injection attachment for a run: the universal --fault-* flags
+// in one bundle, copied verbatim into noc::SimConfig (see
+// noc/config.hpp for the full semantics).  Default (all zero) means
+// no faults, and the run takes the exact pre-fault code paths.
+struct FaultOptions {
+  int links = 0;                // inter-router links to kill
+  int routers = 0;              // whole routers to kill
+  noc::Cycle at = 0;            // 0 = start of the measurement window
+  std::uint64_t seed = 0;       // 0 = derive from the run seed
+  noc::Cycle repair = 0;        // > 0: transient flap, repaired after N
+  bool allow_partition = false;
+  void apply(noc::SimConfig& cfg) const {
+    cfg.fault_links = links;
+    cfg.fault_routers = routers;
+    cfg.fault_at = at;
+    cfg.fault_seed = seed;
+    cfg.fault_repair = repair;
+    cfg.allow_partition = allow_partition;
+  }
 };
 
 // Fully specified powered run: any SimConfig (topology, radix,

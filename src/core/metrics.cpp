@@ -150,8 +150,8 @@ std::string to_json(const RunManifest& m) {
 }
 
 std::string to_json(const WindowRecord& w) {
-  return JsonLine()
-      .str("type", "window")
+  JsonLine line;
+  line.str("type", "window")
       .str("run", w.run)
       .num("index", w.index)
       .num("begin", static_cast<std::int64_t>(w.begin))
@@ -177,7 +177,31 @@ std::string to_json(const WindowRecord& w) {
       .num("link_energy_j", w.link_energy_j)
       .num("standby_cycles", w.standby_cycles)
       .num("realized_saving_j", w.realized_saving_j)
-      .num("idle_fast_ticks", w.idle_fast_ticks)
+      .num("idle_fast_ticks", w.idle_fast_ticks);
+  if (w.fault_columns) {
+    line.num("packets_lost", w.packets_lost)
+        .num("flits_lost", w.flits_lost)
+        .num("packets_retransmitted", w.packets_retransmitted)
+        .num("packets_unreachable_dropped", w.packets_unreachable_dropped);
+  }
+  return line.done();
+}
+
+std::string to_json(const FaultRecord& f) {
+  return JsonLine()
+      .str("type", "fault")
+      .str("run", f.run)
+      .num("cycle", static_cast<std::int64_t>(f.report.at))
+      .str("kind", noc::fault_kind_name(f.report.kind))
+      .num("node_a", static_cast<std::int64_t>(f.report.node_a))
+      .num("node_b", static_cast<std::int64_t>(f.report.node_b))
+      .num("packets_lost", static_cast<std::int64_t>(f.report.packets_lost))
+      .num("flits_purged", static_cast<std::int64_t>(f.report.flits_purged))
+      .num("retransmits_scheduled",
+           static_cast<std::int64_t>(f.report.retransmits_scheduled))
+      .num("packets_abandoned",
+           static_cast<std::int64_t>(f.report.packets_abandoned))
+      .num("unreachable_pairs", f.report.unreachable_pairs)
       .done();
 }
 
@@ -194,8 +218,8 @@ std::string to_json(const FlitRecord& f) {
 }
 
 std::string to_json(const RunSummary& s) {
-  return JsonLine()
-      .str("type", "summary")
+  JsonLine line;
+  line.str("type", "summary")
       .str("run", s.run)
       .num("cycles", static_cast<std::int64_t>(s.cycles))
       .boolean("saturated", s.saturated)
@@ -218,8 +242,16 @@ std::string to_json(const RunSummary& s) {
       .num("cache_lookups", s.cache_lookups)
       .num("cache_hits", s.cache_hits)
       .num("trace_events", s.trace_events)
-      .num("trace_dropped", s.trace_dropped)
-      .done();
+      .num("trace_dropped", s.trace_dropped);
+  if (s.fault_columns) {
+    line.boolean("aborted_disconnected", s.aborted_disconnected)
+        .num("packets_lost", s.packets_lost)
+        .num("flits_lost", s.flits_lost)
+        .num("packets_retransmitted", s.packets_retransmitted)
+        .num("packets_unreachable_dropped", s.packets_unreachable_dropped)
+        .num("unreachable_pairs", s.unreachable_pairs);
+  }
+  return line.done();
 }
 
 // ------------------------------------------------------------------ sinks
@@ -244,6 +276,7 @@ void JsonlSink::write_line(const std::string& line) {
 
 void JsonlSink::on_manifest(const RunManifest& m) { write_line(to_json(m)); }
 void JsonlSink::on_window(const WindowRecord& w) { write_line(to_json(w)); }
+void JsonlSink::on_fault(const FaultRecord& f) { write_line(to_json(f)); }
 void JsonlSink::on_flit(const FlitRecord& f) { write_line(to_json(f)); }
 void JsonlSink::on_summary(const RunSummary& s) { write_line(to_json(s)); }
 
@@ -256,6 +289,18 @@ void ProgressSink::on_window(const WindowRecord& w) {
                static_cast<long long>(w.packets_injected),
                static_cast<long long>(w.packets_ejected), w.latency_mean,
                w.throughput, w.flits_in_flight);
+}
+
+void ProgressSink::on_fault(const FaultRecord& f) {
+  std::fprintf(stderr,
+               "[%s] fault @%lld %s node %d/%d: lost %d, retx %d, "
+               "abandoned %d, unreachable pairs %lld\n",
+               f.run.c_str(), static_cast<long long>(f.report.at),
+               noc::fault_kind_name(f.report.kind),
+               static_cast<int>(f.report.node_a),
+               static_cast<int>(f.report.node_b), f.report.packets_lost,
+               f.report.retransmits_scheduled, f.report.packets_abandoned,
+               static_cast<long long>(f.report.unreachable_pairs));
 }
 
 void ProgressSink::on_summary(const RunSummary& s) {
@@ -346,6 +391,12 @@ MetricsStreamer::MetricsStreamer(noc::SimKernel& kernel,
       manifest_(std::move(manifest)),
       collector_(kernel.num_shards()) {
   kernel_.set_telemetry(&collector_);
+  fault_columns_ = kernel_.fault_controller() != nullptr;
+  if (fault_columns_) {
+    kernel_.set_fault_callback([this](const noc::FaultReport& r) {
+      if (sink_ != nullptr) sink_->on_fault(FaultRecord{manifest_.run, r});
+    });
+  }
   if (opt_.trace_flits > 0) {
     kernel_.enable_flit_trace(static_cast<std::size_t>(opt_.trace_flits));
   }
@@ -363,6 +414,7 @@ MetricsStreamer::~MetricsStreamer() {
   // The kernel may outlive this streamer; make sure it never touches
   // our collector again.
   kernel_.set_telemetry(nullptr);
+  if (fault_columns_) kernel_.set_fault_callback(nullptr);
 }
 
 MetricsStreamer::PowerSnapshot MetricsStreamer::snapshot_power() const {
@@ -416,6 +468,14 @@ void MetricsStreamer::on_window(const noc::SimKernel::MetricsWindow& w) {
   r.idle_fast_ticks = idle - prev_idle_ticks_;
   prev_idle_ticks_ = idle;
 
+  if (fault_columns_) {
+    r.fault_columns = true;
+    r.packets_lost = w.stats.packets_lost;
+    r.flits_lost = w.stats.flits_lost;
+    r.packets_retransmitted = w.stats.packets_retransmitted;
+    r.packets_unreachable_dropped = w.stats.packets_unreachable_dropped;
+  }
+
   ++windows_emitted_;
   if (sink_ != nullptr) sink_->on_window(r);
 }
@@ -456,6 +516,15 @@ void MetricsStreamer::finish(const noc::SimStats& stats, bool saturated,
   s.cache_hits = cache_hits;
   s.trace_events = trace_events;
   s.trace_dropped = kernel_.flit_trace_dropped();
+  if (fault_columns_) {
+    s.fault_columns = true;
+    s.aborted_disconnected = kernel_.aborted_disconnected();
+    s.packets_lost = stats.packets_lost;
+    s.flits_lost = stats.flits_lost;
+    s.packets_retransmitted = stats.packets_retransmitted;
+    s.packets_unreachable_dropped = stats.packets_unreachable_dropped;
+    s.unreachable_pairs = kernel_.unreachable_pairs();
+  }
   if (sink_ != nullptr) sink_->on_summary(s);
 }
 

@@ -8,6 +8,9 @@
 //   N x window     — one record per closed metrics window
 //                    (SimKernel::MetricsWindow + per-window power
 //                    deltas + live in-flight count),
+//   F x fault      — one record per applied fault event (only when
+//                    fault injection is enabled), emitted between
+//                    window records at the cycle the surgery ran,
 //   M x flit       — the retained flit-trace events (only with
 //                    --trace-flits),
 //   1 x summary    — end-of-run totals plus the kernel profiling
@@ -106,6 +109,14 @@ struct WindowRecord {
   double realized_saving_j = 0.0;
   // Kernel observability (not part of the determinism contract).
   std::int64_t idle_fast_ticks = 0;
+  // Degradation columns (fault injection).  Serialized only when
+  // `fault_columns` is set — a faults-off run's JSONL stream stays
+  // byte-identical to pre-fault builds.
+  bool fault_columns = false;
+  std::int64_t packets_lost = 0;
+  std::int64_t flits_lost = 0;
+  std::int64_t packets_retransmitted = 0;
+  std::int64_t packets_unreachable_dropped = 0;
 };
 
 // End-of-run totals + host profiling counters.
@@ -140,12 +151,28 @@ struct RunSummary {
   // Flit-trace accounting.
   std::int64_t trace_events = 0;
   std::int64_t trace_dropped = 0;
+  // Degradation totals (fault injection).  Serialized only when
+  // `fault_columns` is set, like the window columns.
+  bool fault_columns = false;
+  bool aborted_disconnected = false;
+  std::int64_t packets_lost = 0;
+  std::int64_t flits_lost = 0;
+  std::int64_t packets_retransmitted = 0;
+  std::int64_t packets_unreachable_dropped = 0;
+  std::int64_t unreachable_pairs = 0;
 };
 
 // One retained flit-trace event.
 struct FlitRecord {
   std::string run;
   noc::FlitTraceEvent event;
+};
+
+// One applied fault event (fault injection only): what died or was
+// repaired, and what the reconfiguration surgery did about it.
+struct FaultRecord {
+  std::string run;
+  noc::FaultReport report;
 };
 
 // ------------------------------------------------------------------ sinks
@@ -158,6 +185,7 @@ class MetricsSink {
   virtual ~MetricsSink() = default;
   virtual void on_manifest(const RunManifest& m) { (void)m; }
   virtual void on_window(const WindowRecord& w) { (void)w; }
+  virtual void on_fault(const FaultRecord& f) { (void)f; }
   virtual void on_flit(const FlitRecord& f) { (void)f; }
   virtual void on_summary(const RunSummary& s) { (void)s; }
 };
@@ -167,11 +195,13 @@ class MemorySink final : public MetricsSink {
  public:
   void on_manifest(const RunManifest& m) override { manifests.push_back(m); }
   void on_window(const WindowRecord& w) override { windows.push_back(w); }
+  void on_fault(const FaultRecord& f) override { faults.push_back(f); }
   void on_flit(const FlitRecord& f) override { flits.push_back(f); }
   void on_summary(const RunSummary& s) override { summaries.push_back(s); }
 
   std::vector<RunManifest> manifests;
   std::vector<WindowRecord> windows;
+  std::vector<FaultRecord> faults;
   std::vector<FlitRecord> flits;
   std::vector<RunSummary> summaries;
 };
@@ -187,6 +217,7 @@ class JsonlSink final : public MetricsSink {
   explicit JsonlSink(const std::string& path);
   void on_manifest(const RunManifest& m) override;
   void on_window(const WindowRecord& w) override;
+  void on_fault(const FaultRecord& f) override;
   void on_flit(const FlitRecord& f) override;
   void on_summary(const RunSummary& s) override;
 
@@ -201,6 +232,7 @@ class JsonlSink final : public MetricsSink {
 class ProgressSink final : public MetricsSink {
  public:
   void on_window(const WindowRecord& w) override;
+  void on_fault(const FaultRecord& f) override;
   void on_summary(const RunSummary& s) override;
 };
 
@@ -216,6 +248,9 @@ class MultiSink final : public MetricsSink {
   }
   void on_window(const WindowRecord& w) override {
     for (MetricsSink* s : sinks_) s->on_window(w);
+  }
+  void on_fault(const FaultRecord& f) override {
+    for (MetricsSink* s : sinks_) s->on_fault(f);
   }
   void on_flit(const FlitRecord& f) override {
     for (MetricsSink* s : sinks_) s->on_flit(f);
@@ -234,6 +269,7 @@ class MultiSink final : public MetricsSink {
 // %.17g so values round-trip exactly).
 std::string to_json(const RunManifest& m);
 std::string to_json(const WindowRecord& w);
+std::string to_json(const FaultRecord& f);
 std::string to_json(const FlitRecord& f);
 std::string to_json(const RunSummary& s);
 
@@ -306,6 +342,11 @@ class MetricsStreamer {
   PowerSnapshot prev_power_;
   std::int64_t prev_idle_ticks_ = 0;
   std::int64_t windows_emitted_ = 0;
+  // Set when the kernel runs with fault injection: fault records flow
+  // to the sink and the window/summary degradation columns are
+  // serialized.  False keeps the stream byte-identical to a
+  // pre-fault-layer build.
+  bool fault_columns_ = false;
 };
 
 }  // namespace lain::telemetry

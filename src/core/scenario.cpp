@@ -18,9 +18,12 @@ namespace {
 // not by build_scenario_spec — except --threads).
 const std::vector<std::string> kUniversalValueFlags = {
     "threads",     "out",           "metrics-window",
-    "metrics-out", "trace-flits",   "abort-on-saturation"};
+    "metrics-out", "trace-flits",   "abort-on-saturation",
+    "fault-links", "fault-routers", "fault-at",
+    "fault-seed",  "fault-repair"};
 const std::vector<std::string> kUniversalSwitchFlags = {
-    "csv", "json", "cycle-skip", "progress", "help"};
+    "csv",  "json",     "cycle-skip", "allow-partition",
+    "abort-on-disconnect", "progress", "help"};
 
 struct FlagHelp {
   const char* flag;
@@ -56,6 +59,28 @@ const FlagHelp kFlagHelp[] = {
     {"cycle-skip",
      "event-driven cycle skipping: jump quiescent stretches in\n"
      "                      one step (stats stay bit-identical)"},
+    {"fault-links",
+     "kill N inter-router links at --fault-at (deterministic,\n"
+     "                      seed-derived victims; see README \"Fault "
+     "injection\")"},
+    {"fault-routers",
+     "kill N whole routers (disconnects their nodes, so this\n"
+     "                      needs --allow-partition)"},
+    {"fault-at",
+     "fault cycle (0 = at the start of the measurement window)"},
+    {"fault-seed",
+     "independent fault-schedule seed (0 = derive from --seed)"},
+    {"fault-repair",
+     "turn each kill into a transient flap repaired after N\n"
+     "                      cycles (0 = permanent)"},
+    {"allow-partition",
+     "accept a fault schedule that disconnects the fabric and\n"
+     "                      account unreachable pairs instead of rejecting "
+     "it"},
+    {"abort-on-disconnect",
+     "abort a run whose fabric has unreachable pairs at a\n"
+     "                      window boundary (fail fast instead of running\n"
+     "                      degraded; needs --metrics-window)"},
     {"progress", "print one stderr line per closed metrics window"},
     {"help", "show this scenario's usage"},
     {"schemes", "e.g. sc,dpc,sdpc or 'all'"},
@@ -82,6 +107,9 @@ const FlagDefault kFlagDefaults[] = {
     {"metrics-window", "0"},
     {"trace-flits", "0"},
     {"abort-on-saturation", "0"},
+    {"fault-links", "0"},   {"fault-routers", "0"},
+    {"fault-at", "0"},      {"fault-seed", "0"},
+    {"fault-repair", "0"},
     {"partition", "auto"},
     {"schemes", "all"},     {"patterns", "uniform"},
     {"rates", "0.05,0.15,0.30"},
@@ -162,8 +190,21 @@ TelemetryOptions telemetry_options(const ScenarioSpec& s) {
   t.trace_flits = s.trace_flits;
   t.sink = s.metrics;
   t.abort_latency_mult = s.abort_latency_mult;
+  t.abort_on_disconnect = s.abort_on_disconnect;
   t.cancel = s.cancel;
   return t;
+}
+
+// The fault-injection bundle a spec asks for (universal --fault-*).
+FaultOptions fault_options(const ScenarioSpec& s) {
+  FaultOptions f;
+  f.links = s.fault_links;
+  f.routers = s.fault_routers;
+  f.at = s.fault_at;
+  f.seed = s.fault_seed;
+  f.repair = s.fault_repair;
+  f.allow_partition = s.allow_partition;
+  return f;
 }
 
 NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
@@ -180,6 +221,7 @@ NocSweepOptions noc_sweep_options(const ScenarioSpec& s) {
   opt.partition = s.partition;
   opt.pin_threads = s.pin_threads;
   opt.cycle_skip = s.cycle_skip;
+  opt.fault = fault_options(s);
   opt.telemetry = telemetry_options(s);
   return opt;
 }
@@ -237,6 +279,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
       opt.cycle_skip = s.cycle_skip;
+      opt.fault = fault_options(s);
       opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = idle_histogram(ctx, opt, engine);
@@ -332,6 +375,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.partition = s.partition;
       opt.pin_threads = s.pin_threads;
       opt.cycle_skip = s.cycle_skip;
+      opt.fault = fault_options(s);
       opt.telemetry = telemetry_options(s);
       ScenarioRun r;
       r.table = mesh_vs_torus(ctx, opt, engine);
@@ -370,6 +414,7 @@ ScenarioRegistry make_builtin_registry() {
       opt.sim_threads = s.sim_thread_list;
       opt.pin_threads = s.pin_threads;
       opt.cycle_skip = s.cycle_skip;
+      opt.fault = fault_options(s);
       opt.injection_rate = s.rates.front();
       opt.pattern = s.patterns.front();
       opt.seed = s.seed;
@@ -593,6 +638,33 @@ ScenarioSpec build_scenario_spec(const Scenario& sc, const ArgParser& args) {
   }
   s.progress = args.has("progress");
   s.cycle_skip = args.has("cycle-skip");
+  // Universal fault-injection flags (same contract as the telemetry
+  // flags above: scenarios without a cycle-accurate simulation ignore
+  // them; SimConfig::validate rejects bad combinations per-run).
+  {
+    s.fault_links = single_int(sc, args, "fault-links");
+    s.fault_routers = single_int(sc, args, "fault-routers");
+    if (s.fault_links < 0 || s.fault_routers < 0) {
+      throw std::invalid_argument("--fault-links/--fault-routers must be >= 0");
+    }
+    const int at = single_int(sc, args, "fault-at");
+    const int repair = single_int(sc, args, "fault-repair");
+    if (at < 0 || repair < 0) {
+      throw std::invalid_argument("--fault-at/--fault-repair must be >= 0");
+    }
+    s.fault_at = static_cast<noc::Cycle>(at);
+    s.fault_repair = static_cast<noc::Cycle>(repair);
+    s.fault_seed = parse_flag(
+        "fault-seed", flag_value(sc, args, "fault-seed"),
+        [](const std::string& v) { return std::stoull(v); });
+    s.allow_partition = args.has("allow-partition");
+    s.abort_on_disconnect = args.has("abort-on-disconnect");
+    if (s.abort_on_disconnect && s.metrics_window == 0) {
+      throw std::invalid_argument(
+          "--abort-on-disconnect needs --metrics-window (the guard acts "
+          "at window boundaries)");
+    }
+  }
   if (accepts("sim-threads")) {
     if (sc.sim_threads_as_list) {
       s.sim_thread_list = parse_flag("sim-threads",

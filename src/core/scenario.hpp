@@ -53,6 +53,15 @@ struct ScenarioSpec {
   // bit-identical, wall-clock drops on sparse traffic).  Ignored by
   // scenarios without a cycle-accurate simulation.
   bool cycle_skip = false;
+  // Fault injection (universal --fault-* flags; see noc::SimConfig for
+  // semantics).  Ignored by scenarios without a cycle-accurate
+  // simulation.
+  int fault_links = 0;
+  int fault_routers = 0;
+  noc::Cycle fault_at = 0;
+  std::uint64_t fault_seed = 0;
+  noc::Cycle fault_repair = 0;
+  bool allow_partition = false;
 
   std::vector<xbar::Scheme> schemes;
   std::vector<noc::TrafficPattern> patterns;
@@ -78,9 +87,10 @@ struct ScenarioSpec {
   std::int64_t trace_flits = 0;       // --trace-flits N (per-shard ring)
   telemetry::MetricsSink* metrics = nullptr;
 
-  // Run-lifecycle controls (see core::TelemetryOptions).  Both act at
+  // Run-lifecycle controls (see core::TelemetryOptions).  All act at
   // metrics-window boundaries and are inert with metrics_window == 0.
   double abort_latency_mult = 0.0;    // --abort-on-saturation MULT
+  bool abort_on_disconnect = false;   // --abort-on-disconnect
   const std::atomic<bool>* cancel = nullptr;  // library/serve callers only
 };
 

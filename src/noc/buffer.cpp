@@ -38,6 +38,33 @@ LAIN_HOT_PATH LAIN_NO_ALLOC Flit VcBuffer::pop() {
   return f;
 }
 
+const Flit& VcBuffer::peek(int i) const {
+  assert(i >= 0 && i < count_ && "peek() out of range");
+  int idx = head_ + i;
+  if (idx >= capacity_) idx -= capacity_;
+  return slots_[static_cast<size_t>(idx)];
+}
+
+int VcBuffer::remove_packets(const std::function<bool(PacketId)>& lost) {
+  int removed = 0;
+  int kept = 0;
+  for (int i = 0; i < count_; ++i) {
+    int idx = head_ + i;
+    if (idx >= capacity_) idx -= capacity_;
+    const Flit f = slots_[static_cast<size_t>(idx)];
+    if (lost(f.packet)) {
+      ++removed;
+      continue;
+    }
+    int out = head_ + kept;
+    if (out >= capacity_) out -= capacity_;
+    slots_[static_cast<size_t>(out)] = f;
+    ++kept;
+  }
+  count_ = kept;
+  return removed;
+}
+
 InputPort::InputPort(int vcs, int capacity_flits) {
   if (vcs < 1) throw std::invalid_argument("need >= 1 VC");
   vcs_.reserve(static_cast<size_t>(vcs));

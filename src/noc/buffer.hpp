@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "noc/flit.hpp"
@@ -36,9 +37,29 @@ class VcBuffer {
   const Flit& front() const;
   Flit pop();
 
+  // i-th buffered flit from the head (0 == front()); fault surgery
+  // scans buffers for flits of lost packets with this.
+  const Flit& peek(int i) const;
+
+  // Fault surgery (stop-the-world, between steps): removes every flit
+  // whose packet satisfies `lost`, compacting the ring in order.
+  // Returns the removed count.  The caller owns the state-machine
+  // repair (Router::fault_*).
+  int remove_packets(const std::function<bool(PacketId)>& lost);
+
   VcState state = VcState::kIdle;
   int out_port = -1;  // route-computed output port
   int out_vc = -1;    // allocated downstream VC
+  // Packet resident at this VC's head of line (set when a head flit
+  // establishes the VC, cleared when its tail departs).  Fault surgery
+  // needs it to find the worm holding an output VC even when all of
+  // the worm's flits are downstream of this buffer.
+  PacketId packet = -1;
+  // Routing class under fault-aware routing: 0 = normal (XY /
+  // dateline VCs), 1 = escape (reserved spanning-tree VC).  Set by
+  // route compute; once a packet enters the escape class it stays
+  // there at every downstream hop (acyclic class transition).
+  std::int8_t route_class = 0;
 
  private:
   int capacity_;

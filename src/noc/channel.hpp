@@ -147,6 +147,53 @@ class Channel {
     return count_;
   }
 
+  // --- Fault-surgery interface (stop-the-world only) -----------------
+  //
+  // Called by the kernel's fault controller between steps, with every
+  // shard parked at a barrier and no phase in flight, so these are
+  // deliberately exempt from the phase-ownership checks.  Never call
+  // them while a step is in flight.
+
+  // Visits every in-pipe item oldest-first, then the staged item (the
+  // staging slot is empty between steps; visited defensively).
+  template <typename Fn>
+  void fault_for_each(Fn fn) const {
+    for (int i = 0; i < count_; ++i) {
+      int idx = head_ + i;
+      if (idx >= capacity()) idx -= capacity();
+      fn(slots_[static_cast<size_t>(idx)].item);
+    }
+    if (staged_.has_value()) fn(*staged_);
+  }
+
+  // Removes every item matching `pred` from the pipe (and the staging
+  // slot), compacting the ring while preserving order and each
+  // survivor's remaining traversal time.  Returns the removed count.
+  template <typename Pred>
+  int fault_purge(Pred pred) {
+    int removed = 0;
+    int kept = 0;
+    for (int i = 0; i < count_; ++i) {
+      int idx = head_ + i;
+      if (idx >= capacity()) idx -= capacity();
+      Slot s = slots_[static_cast<size_t>(idx)];
+      if (pred(s.item)) {
+        ++removed;
+        continue;
+      }
+      int out = head_ + kept;
+      if (out >= capacity()) out -= capacity();
+      slots_[static_cast<size_t>(out)] = s;
+      ++kept;
+    }
+    count_ = kept;
+    if (staged_.has_value() && pred(*staged_)) {
+      staged_.reset();
+      ++removed;
+    }
+    return removed;
+  }
+
   // Whole-channel probes: these read the staging slot, so during a
   // sharded component phase only the producer may call them (enforced
   // under LAIN_RACECHECK; any other shard would be reading a slot that

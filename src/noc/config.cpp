@@ -65,6 +65,27 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "burst duty too low: ON-state rate would exceed 1 flit/cycle");
   }
+  if (fault_links < 0 || fault_routers < 0) {
+    throw std::invalid_argument("fault counts must be >= 0");
+  }
+  if (fault_at < 0 || fault_repair < 0) {
+    throw std::invalid_argument("fault cycles must be >= 0");
+  }
+  if (faults_enabled()) {
+    // Self-healing routing reserves the highest VC as the deadlock-free
+    // escape class (spanning-tree routing around dead links).  The mesh
+    // needs one VC left for XY traffic; the torus additionally needs
+    // two dateline classes among the non-escape VCs.
+    if (vcs < 2) {
+      throw std::invalid_argument(
+          "fault injection needs >= 2 VCs (one reserved as the escape VC)");
+    }
+    if (topology == TopologyKind::kTorus && vcs < 3) {
+      throw std::invalid_argument(
+          "fault injection on the torus needs >= 3 VCs (two dateline "
+          "classes plus the reserved escape VC)");
+    }
+  }
 }
 
 }  // namespace lain::noc

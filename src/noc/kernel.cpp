@@ -66,6 +66,17 @@ SimKernel::SimKernel(const SimConfig& cfg)
   measure_start_ = cfg.warmup_cycles;
   measure_end_ = cfg.warmup_cycles + cfg.measure_cycles;
   packet_seq_.assign(static_cast<size_t>(cfg.num_nodes()), 0);
+  if (cfg_.faults_enabled()) {
+    // FaultPlan::build validates the schedule against the wired fabric
+    // and throws on a disconnecting plan without allow_partition — the
+    // diagnostic surfaces through the scenario layer before any cycle
+    // runs.
+    fault_ = std::make_unique<FaultController>(cfg_, net_,
+                                               FaultPlan::build(cfg_, net_));
+    for (NodeId n = 0; n < cfg_.num_nodes(); ++n) {
+      net_.router(n).set_fault_table(fault_->table_ptr());
+    }
+  }
 }
 
 void SimKernel::init_partition(PartitionStrategy strategy, int num_shards) {
@@ -274,22 +285,33 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void SimKernel::step_shard_event_components(
       --sh.arrival_count;
       const NodeId n = sh.arrivals[sh.arrival_count].second;
       const NodeId dst = gen_.take_arrival(n);
-      const PacketId id = (static_cast<PacketId>(n) << 32) |
-                          packet_seq_[static_cast<size_t>(n)]++;
-      net_.nic(n).source_packet(dst, now_, id);
-      if (tracing_) {
-        sh.trace.push({now_, id, n, FlitTraceKind::kInject, -1});
-      }
-      if (in_window) {
-        ++sh.stats.packets_injected;
-        sh.stats.flits_injected += cfg_.packet_length_flits;
-        ++sh.tracked_pending;
-        if (windowed_) {
-          ++sh.window_stats.packets_injected;
-          sh.window_stats.flits_injected += cfg_.packet_length_flits;
+      // Fault gate (after the RNG draw, so the traffic stream is
+      // unchanged): a packet whose source is dead or whose
+      // destination is unreachable is dropped at the source.
+      if (fault_ != nullptr &&
+          (!fault_->node_alive(n) || !fault_->dst_reachable(n, dst))) {
+        if (in_window) {
+          ++sh.stats.packets_unreachable_dropped;
+          if (windowed_) ++sh.window_stats.packets_unreachable_dropped;
         }
+      } else {
+        const PacketId id = (static_cast<PacketId>(n) << 32) |
+                            packet_seq_[static_cast<size_t>(n)]++;
+        net_.nic(n).source_packet(dst, now_, id);
+        if (tracing_) {
+          sh.trace.push({now_, id, n, FlitTraceKind::kInject, -1});
+        }
+        if (in_window) {
+          ++sh.stats.packets_injected;
+          sh.stats.flits_injected += cfg_.packet_length_flits;
+          ++sh.tracked_pending;
+          if (windowed_) {
+            ++sh.window_stats.packets_injected;
+            sh.window_stats.flits_injected += cfg_.packet_length_flits;
+          }
+        }
+        wake_nic(sh, n);
       }
-      wake_nic(sh, n);
       const Cycle next = gen_.next_arrival(n, arrival_limit_);
       if (next != TrafficGenerator::kNoArrival) {
         sh.arrivals[sh.arrival_count++] = {next, n};
@@ -526,6 +548,17 @@ void SimKernel::step_shard_components(std::size_t shard_index) {
     for (NodeId n : sp.nodes) {
       const NodeId dst = gen_.maybe_generate(n);
       if (dst == kInvalidNode) continue;
+      // Fault gate (after the RNG draw, so the traffic stream is
+      // unchanged): a packet whose source is dead or whose destination
+      // is unreachable is dropped at the source.
+      if (fault_ != nullptr &&
+          (!fault_->node_alive(n) || !fault_->dst_reachable(n, dst))) {
+        if (in_window) {
+          ++sh.stats.packets_unreachable_dropped;
+          if (windowed_) ++sh.window_stats.packets_unreachable_dropped;
+        }
+        continue;
+      }
       const PacketId id = (static_cast<PacketId>(n) << 32) |
                           packet_seq_[static_cast<size_t>(n)]++;
       net_.nic(n).source_packet(dst, now_, id);
@@ -695,6 +728,83 @@ std::int64_t SimKernel::tracked_pending() const {
   return pending;
 }
 
+void SimKernel::process_fault_cycle() {
+  const FaultController::CycleOutcome out = fault_->process(now_);
+  const int len = cfg_.packet_length_flits;
+  auto shard_of_node = [&](NodeId n) -> Shard& {
+    return shards_[static_cast<std::size_t>(
+        plan_.shard_of[static_cast<std::size_t>(n)])];
+  };
+  // Loss attribution: the kernel's flit accounting is packet-granular
+  // (record_ejection adds a whole packet length on the tail), so a
+  // lost packet counts its full length — conservation then holds
+  // exactly: flits_injected == flits_ejected + flits_lost + (len *
+  // tracked_pending) at any stop-the-world point.  All columns gate on
+  // `created` in the measurement window, like record_ejection.
+  for (const LostPacket& lp : out.lost) {
+    if (lp.created < measure_start_ || lp.created >= measure_end_) continue;
+    Shard& sh = shard_of_node(lp.src);
+    ++sh.stats.packets_lost;
+    sh.stats.flits_lost += len;
+    if (windowed_) {
+      ++sh.window_stats.packets_lost;
+      sh.window_stats.flits_lost += len;
+    }
+    if (!lp.retransmit) {
+      // Abandoned outright (source dead or destination unreachable):
+      // the packet leaves the tracked set so drain can complete.
+      ++sh.stats.packets_unreachable_dropped;
+      if (windowed_) ++sh.window_stats.packets_unreachable_dropped;
+      --sh.tracked_pending;
+    }
+  }
+  // Retransmissions firing now re-enter at the source NIC with the
+  // original creation stamp (end-to-end latency spans every attempt)
+  // and re-count as injected — injected = ejected + lost + pending
+  // stays an identity.
+  for (const RetxDue& r : out.retransmit_now) {
+    net_.nic(r.src).source_packet(r.dst, now_, r.packet, r.created);
+    Shard& sh = shard_of_node(r.src);
+    if (event_mode_) wake_nic(sh, r.src);
+    if (r.created < measure_start_ || r.created >= measure_end_) continue;
+    ++sh.stats.packets_retransmitted;
+    ++sh.stats.packets_injected;
+    sh.stats.flits_injected += len;
+    if (windowed_) {
+      ++sh.window_stats.packets_retransmitted;
+      ++sh.window_stats.packets_injected;
+      sh.window_stats.flits_injected += len;
+    }
+  }
+  for (const RetxDue& r : out.abandoned_now) {
+    if (r.created < measure_start_ || r.created >= measure_end_) continue;
+    Shard& sh = shard_of_node(r.src);
+    ++sh.stats.packets_unreachable_dropped;
+    if (windowed_) ++sh.window_stats.packets_unreachable_dropped;
+    --sh.tracked_pending;
+  }
+  if (out.reconfigured && event_mode_) {
+    // The surgery may have unblocked any component in the fabric
+    // (credits repaired, heads rerouted): wake everything alive so the
+    // next executed cycle re-probes quiescence from scratch.  A router
+    // that really has nothing to do drops off the active list again
+    // after one probe; idle_fast_ticks may differ from the per-cycle
+    // engine here, but that counter is deliberately not part of
+    // SimStats.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& sh = shards_[s];
+      for (NodeId n : plan_.shards[s].nodes) {
+        if (!fault_->node_alive(n)) continue;
+        wake_router(sh, n);
+        if (!net_.nic(n).fault_killed()) wake_nic(sh, n);
+      }
+    }
+  }
+  if (fault_cb_) {
+    for (const FaultReport& rep : out.reports) fault_cb_(rep);
+  }
+}
+
 SimStats SimKernel::collect_stats() {
   flush_deferred_idle(now_);
   SimStats st;
@@ -703,7 +813,7 @@ SimStats SimKernel::collect_stats() {
   // A control-terminated run covers only the measured cycles that
   // actually elapsed; a full run reports the configured span even
   // when the drain tail ran past it (unchanged contract).
-  if (canceled_ || aborted_saturated_) {
+  if (canceled_ || aborted_saturated_ || aborted_disconnected_) {
     const Cycle measured = std::min(now_, measure_end_);
     st.measured_cycles =
         measured > measure_start_ ? measured - measure_start_ : 0;
@@ -731,10 +841,19 @@ SimStats SimKernel::run() {
       windowed_ ? window_begin_ + window_cycles_ : kNoEventCycle;
   while (true) {
     injecting_ = now_ < inject_until;
+    // Fault work due this cycle runs stop-the-world before the step,
+    // so the step already sees the post-fault fabric (same cycle on
+    // every engine — bit-identity holds degraded too).
+    if (fault_ != nullptr && fault_->due(now_)) process_fault_cycle();
     if (event) {
       Cycle cap = hard_limit;
       if (injecting_ && inject_until < cap) cap = inject_until;
       if (next_window_end < cap) cap = next_window_end;
+      // A skip must never jump a scheduled fault or retransmit cycle.
+      if (fault_ != nullptr) {
+        const Cycle due = fault_->next_due();
+        if (due < cap) cap = due;
+      }
       skip_cap_ = cap;
     }
     step();
@@ -753,6 +872,10 @@ SimStats SimKernel::run() {
         }
         if (v == WindowVerdict::kAbortSaturated) {
           aborted_saturated_ = true;
+          break;
+        }
+        if (v == WindowVerdict::kAbortDisconnected) {
+          aborted_disconnected_ = true;
           break;
         }
       }

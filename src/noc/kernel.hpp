@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "noc/fault.hpp"
 #include "noc/parallel/partition.hpp"
 #include "noc/topology.hpp"
 #include "noc/trace.hpp"
@@ -213,13 +214,35 @@ class SimKernel {
   // a control hook that never fires leaves the run bit-identical —
   // the window series itself does not change.  Requires a metrics
   // window; with window_cycles == 0 the hook is never consulted.
-  enum class WindowVerdict { kContinue, kCancel, kAbortSaturated };
+  enum class WindowVerdict {
+    kContinue,
+    kCancel,
+    kAbortSaturated,
+    // Fault injection left the fabric (partially) disconnected and the
+    // caller wants served jobs to fail fast instead of draining a
+    // degraded run to the limit.
+    kAbortDisconnected,
+  };
   using WindowControl = std::function<WindowVerdict(const MetricsWindow&)>;
   void set_window_control(WindowControl control);
 
   // True when a window control terminated the run early.
   bool canceled() const { return canceled_; }
   bool aborted_saturated() const { return aborted_saturated_; }
+  bool aborted_disconnected() const { return aborted_disconnected_; }
+
+  // --- Fault injection (cfg.faults_enabled()) ------------------------
+  // Null when faults are disabled — the fabric then runs the exact
+  // pre-fault code paths (routers hold a null fault table).
+  const FaultController* fault_controller() const { return fault_.get(); }
+  // Ordered node pairs currently unreachable (0 without faults).
+  std::int64_t unreachable_pairs() const {
+    return fault_ != nullptr ? fault_->unreachable_pairs() : 0;
+  }
+  // Invoked on the calling thread for every applied fault event,
+  // immediately after its surgery completes (telemetry hook).
+  using FaultCallback = std::function<void(const FaultReport&)>;
+  void set_fault_callback(FaultCallback cb) { fault_cb_ = std::move(cb); }
 
   // Marks the run canceled before it starts (a job whose cancel flag
   // was already set when its worker picked it up); the caller then
@@ -276,6 +299,13 @@ class SimKernel {
   // (called once, after the run loop ends).
   std::int64_t tracked_pending() const;
   SimStats collect_stats();
+
+  // Applies every fault event and retransmission due at now_ and
+  // attributes the consequences (lost/retransmit/abandoned packets) to
+  // the owning shards' stats slices.  Called from the run loop between
+  // steps — stop-the-world, every shard parked — so it may mutate any
+  // component directly (the flush_deferred_idle precedent).
+  void process_fault_cycle();
 
   // Closes the current metrics window at `end`: merges + resets every
   // shard's window slice (in shard order, on the calling thread),
@@ -380,6 +410,10 @@ class SimKernel {
   bool saturated_ = false;
   bool canceled_ = false;
   bool aborted_saturated_ = false;
+  bool aborted_disconnected_ = false;
+  // Fault injection (null when cfg.faults_enabled() is false).
+  std::unique_ptr<FaultController> fault_;
+  FaultCallback fault_cb_;
   Cycle measure_start_ = 0;
   Cycle measure_end_ = 0;
   // Per-node packet sequence numbers; packet n<<32|seq is unique and

@@ -22,6 +22,11 @@ void Nic::connect(FlitChannel* inject_out, CreditChannel* credit_in,
 }
 
 void Nic::source_packet(NodeId dst, Cycle now, PacketId id) {
+  source_packet(dst, now, id, now);
+}
+
+void Nic::source_packet(NodeId dst, Cycle now, PacketId id, Cycle created) {
+  (void)now;
   const int len = cfg_.packet_length_flits;
   for (int i = 0; i < len; ++i) {
     Flit f;
@@ -37,7 +42,7 @@ void Nic::source_packet(NodeId dst, Cycle now, PacketId id) {
     f.packet = id;
     f.src = node_;
     f.dst = dst;
-    f.created = now;
+    f.created = created;
     queue_.push_back(f);
   }
 }
@@ -45,6 +50,9 @@ void Nic::source_packet(NodeId dst, Cycle now, PacketId id) {
 LAIN_HOT_PATH LAIN_NO_ALLOC void Nic::tick(Cycle now) {
   rc_check_mutation("Nic::tick");
   LAIN_SHARD_PHASE(component);
+  // A killed NIC (router fault) never acts again; its pipes and queue
+  // were purged by the fault controller when the router died.
+  if (killed_) return;
   // Idle fast path: nothing queued, no completions from last cycle to
   // clear, and nothing in the inbound pipes.  Probing only the
   // consumer side of the channels (see Channel::consumer_pending)
@@ -110,6 +118,45 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Nic::tick(Cycle now) {
   ++flits_injected_;
   if (f.is_tail()) open_vc_ = -1;
   queue_.pop_front();
+}
+
+// --- Fault surgery (stop-the-world, kernel thread, between steps;
+// deliberately no racecheck phase/ownership checks) -------------------
+
+void Nic::fault_kill() {
+  killed_ = true;
+  open_vc_ = -1;
+  // Completions from the last tick were already consumed by the
+  // kernel's collect pass in that same cycle; queued flits stay for
+  // the controller's loss sweep and are purged by fault_purge.
+  completions_.clear();
+}
+
+void Nic::fault_for_each_queued(
+    const std::function<void(const Flit&)>& fn) const {
+  for (const Flit& f : queue_) fn(f);
+}
+
+int Nic::fault_purge(const std::function<bool(PacketId)>& lost) {
+  // open_vc_ >= 0 means the packet being injected still has flits
+  // (at least its tail) at the queue front, so the front identifies it.
+  PacketId open_id = -1;
+  if (open_vc_ >= 0 && !queue_.empty()) open_id = queue_.front().packet;
+  int removed = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (lost(it->packet)) {
+      it = queue_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (open_id >= 0 && lost(open_id)) open_vc_ = -1;
+  return removed;
+}
+
+void Nic::fault_set_credit(int vc, int n) {
+  credits_[static_cast<size_t>(vc)] = n;
 }
 
 }  // namespace lain::noc

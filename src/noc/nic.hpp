@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 
 #include "core/contracts.hpp"
 #include "noc/channel.hpp"
@@ -32,6 +33,9 @@ class Nic {
 
   // Queues a new packet for injection.
   void source_packet(NodeId dst, Cycle now, PacketId id);
+  // Retransmission variant: the flits carry the original creation
+  // stamp, so end-to-end latency spans every attempt.
+  void source_packet(NodeId dst, Cycle now, PacketId id, Cycle created);
 
   // One cycle: drain credits, eject flits, inject at most one flit.
   void tick(Cycle now);
@@ -43,9 +47,26 @@ class Nic {
   // event-driven kernel uses it to decide whether the NIC stays on
   // the active list.
   bool quiescent() const {
-    return queue_.empty() && completions_.empty() &&
-           !credit_in_->consumer_pending() && !eject_in_->consumer_pending();
+    return killed_ ||
+           (queue_.empty() && completions_.empty() &&
+            !credit_in_->consumer_pending() && !eject_in_->consumer_pending());
   }
+
+  // --- Fault surgery (stop-the-world, kernel thread, between steps;
+  // deliberately no racecheck phase/ownership checks) -----------------
+
+  // Router-kill: this NIC stops ticking forever (its queued packets
+  // are collected and purged by the controller's sweep, not here).
+  void fault_kill();
+  bool fault_killed() const { return killed_; }
+  // Visits every flit still in the source queue.
+  void fault_for_each_queued(const std::function<void(const Flit&)>& fn) const;
+  // Removes every queued flit of a lost packet; resets the open-VC
+  // latch if the packet being injected was lost.  Returns the removed
+  // count.
+  int fault_purge(const std::function<bool(PacketId)>& lost);
+  // Credit repair: overwrites the free-slot count toward the router.
+  void fault_set_credit(int vc, int n);
 
   // Observability.
   int source_queue_flits() const { return static_cast<int>(queue_.size()); }
@@ -92,6 +113,7 @@ class Nic {
   std::vector<int> credits_;  // per-VC credits toward the router
   int next_vc_ = 0;
   int open_vc_ = -1;  // VC carrying the packet currently being injected
+  bool killed_ = false;  // router-kill: never ticks again
   FlitChannel* inject_out_ = nullptr;
   CreditChannel* credit_in_ = nullptr;
   FlitChannel* eject_in_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "noc/fault.hpp"
+
 namespace lain::noc {
 namespace {
 
@@ -131,6 +133,7 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Router::receive() {
       // to kRouting when the tail leaves).
       if (f->is_head() && vcb.state == VcState::kIdle) {
         vcb.state = VcState::kRouting;
+        vcb.packet = f->packet;
       }
     }
   }
@@ -148,23 +151,66 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Router::receive() {
   }
 }
 
+LAIN_HOT_PATH LAIN_NO_ALLOC void Router::compute_route(VcBuffer& vcb,
+                                                       int in_port,
+                                                       int in_vc) {
+  const Flit& head = vcb.front();
+  // A non-head flit here means VC state tracking broke upstream —
+  // an internal invariant, not a runtime condition (PR 5).
+  assert(head.is_head() && "non-head flit at routing VC head");
+  if (fault_table_ != nullptr) {
+    // Fault-aware mode: a packet already on the escape VC stays in the
+    // escape class at every downstream hop (one-way class transition
+    // keeps the channel dependency graph acyclic); otherwise it
+    // escapes only when its remaining dimension-order path is broken.
+    const bool sticky_escape = in_port != port(Dir::kLocal) &&
+                               in_vc == fault_table_->escape_vc();
+    if (sticky_escape || !fault_table_->xy_ok(id_, head.dst)) {
+      assert(fault_table_->reachable(id_, head.dst) &&
+             "routing a packet toward an unreachable destination");
+      vcb.out_port = port(fault_table_->escape_next(id_, head.dst));
+      vcb.route_class = 1;
+    } else {
+      vcb.out_port = port(route_xy(id_, head.dst, ctx_));
+      vcb.route_class = 0;
+    }
+  } else {
+    vcb.out_port = port(route_xy(id_, head.dst, ctx_));
+  }
+  vcb.state = VcState::kWaitingVc;
+}
+
 LAIN_HOT_PATH LAIN_NO_ALLOC void Router::route_compute() {
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < cfg_.vcs; ++v) {
       VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
       if (vcb.state != VcState::kRouting || vcb.empty()) continue;
-      const Flit& head = vcb.front();
-      // A non-head flit here means VC state tracking broke upstream —
-      // an internal invariant, not a runtime condition (PR 5).
-      assert(head.is_head() && "non-head flit at routing VC head");
-      vcb.out_port = port(route_xy(id_, head.dst, ctx_));
-      vcb.state = VcState::kWaitingVc;
+      compute_route(vcb, p, v);
     }
   }
 }
 
 bool Router::vc_admissible(int in_port, int in_vc, int out_port,
                            int out_vc) const {
+  if (fault_table_ != nullptr) {
+    if (out_port == port(Dir::kLocal)) return true;
+    // Fault-aware mode: the highest VC is reserved for the escape
+    // class (spanning-tree routing), the rest carry the normal class
+    // (XY, with the dateline rule over the remaining VCs on a torus).
+    const int esc = fault_table_->escape_vc();
+    const VcBuffer& vcb =
+        inputs_[static_cast<size_t>(in_port)].vc(in_vc);
+    if (vcb.route_class != 0) return out_vc == esc;
+    if (out_vc == esc) return false;
+    if (cfg_.topology != TopologyKind::kTorus) return true;
+    const int eff = cfg_.vcs - 1;
+    const int cur_class =
+        (in_port == port(Dir::kLocal)) ? 0 : vc_class_of(in_vc, eff);
+    const bool crossing =
+        crosses_dateline(id_, static_cast<Dir>(out_port), ctx_);
+    const int next_class = (cur_class == 1 || crossing) ? 1 : cur_class;
+    return vc_class_of(out_vc, eff) == next_class;
+  }
   if (cfg_.topology != TopologyKind::kTorus) return true;
   if (out_port == port(Dir::kLocal)) return true;
   // Dateline rule: class may only move 0 -> 1 at the wrap crossing and
@@ -290,11 +336,77 @@ LAIN_HOT_PATH LAIN_NO_ALLOC void Router::switch_traverse() {
       --owned_out_vcs_;
       vcb.out_port = -1;
       vcb.out_vc = -1;
+      vcb.route_class = 0;
+      // Worms are contiguous per VC, so the next resident (if any) is
+      // the following packet's head.
       vcb.state = vcb.empty() ? VcState::kIdle : VcState::kRouting;
+      vcb.packet = vcb.empty() ? -1 : vcb.front().packet;
     }
   }
   events_.flits_sent = traversed;
   activity_.record(traversed);
+}
+
+// --- Fault surgery (stop-the-world, kernel thread, between steps;
+// deliberately no racecheck phase/ownership checks) -------------------
+
+PacketId Router::fault_out_vc_owner_packet(int out_port, int vc) const {
+  const int owner = out_vc_owner_[pv(out_port, vc)];
+  if (owner < 0) return -1;
+  return inputs_[static_cast<size_t>(owner / cfg_.vcs)]
+      .vc(owner % cfg_.vcs)
+      .packet;
+}
+
+void Router::fault_for_each_flit(
+    const std::function<void(const Flit&)>& fn) const {
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      const VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      for (int i = 0; i < vcb.size(); ++i) fn(vcb.peek(i));
+    }
+  }
+}
+
+int Router::fault_purge(const std::function<bool(PacketId)>& lost) {
+  int total = 0;
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      const bool resident_lost = vcb.packet >= 0 && lost(vcb.packet);
+      const int removed = vcb.remove_packets(lost);
+      total += removed;
+      buffered_flits_ -= removed;
+      if (!resident_lost) continue;
+      // The packet that owned this VC's head of line is gone: release
+      // any granted output VC and hand the line to the next worm (its
+      // head — worms are contiguous per VC).
+      if (vcb.state == VcState::kActive) {
+        out_vc_owner_[pv(vcb.out_port, vcb.out_vc)] = -1;
+        --owned_out_vcs_;
+      }
+      vcb.out_port = -1;
+      vcb.out_vc = -1;
+      vcb.route_class = 0;
+      vcb.state = vcb.empty() ? VcState::kIdle : VcState::kRouting;
+      vcb.packet = vcb.empty() ? -1 : vcb.front().packet;
+    }
+  }
+  return total;
+}
+
+void Router::fault_reroute_pending() {
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < cfg_.vcs; ++v) {
+      VcBuffer& vcb = inputs_[static_cast<size_t>(p)].vc(v);
+      if (vcb.state != VcState::kWaitingVc) continue;
+      compute_route(vcb, p, v);
+    }
+  }
+}
+
+void Router::fault_set_credit(int out_port, int vc, int n) {
+  credits_[pv(out_port, vc)] = n;
 }
 
 LAIN_HOT_PATH LAIN_NO_ALLOC void Router::tick() {

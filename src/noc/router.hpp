@@ -47,6 +47,8 @@
 
 namespace lain::noc {
 
+class FaultRoutingTable;
+
 // Events the router reports each cycle (consumed by power models).
 struct RouterEvents {
   int flits_received = 0;
@@ -145,6 +147,39 @@ class Router {
   // incrementally; O(1)).
   int occupancy() const { return buffered_flits_; }
 
+  // --- Fault-aware routing & fault surgery ---------------------------
+  //
+  // When a FaultRoutingTable is attached (faults enabled), route
+  // compute becomes fault-aware: a head whose whole remaining
+  // dimension-order path is alive routes XY on the normal VCs, anything
+  // else takes the reserved escape VC along the alive spanning tree.
+  // A null table keeps the plain zero-cost XY path bit-identical to
+  // builds without faults.
+  //
+  // The fault_* mutators run stop-the-world on the kernel thread
+  // between steps (every shard parked at a barrier — the
+  // flush_deferred_idle precedent), so they deliberately carry no
+  // racecheck phase/ownership checks.
+  void set_fault_table(const FaultRoutingTable* table) {
+    fault_table_ = table;
+  }
+
+  // Packet owning the given output VC (via its input-side worm), or -1.
+  PacketId fault_out_vc_owner_packet(int out_port, int vc) const;
+  // Visits every flit buffered at any input VC.
+  void fault_for_each_flit(
+      const std::function<void(const Flit&)>& fn) const;
+  // Removes every buffered flit of a lost packet and repairs the VC
+  // state machines (ownership release, re-route of exposed heads).
+  // Returns the number of flits removed.
+  int fault_purge(const std::function<bool(PacketId)>& lost);
+  // Re-routes every head still waiting for an output VC against the
+  // current fault table (stale routes toward dead ports would stall
+  // forever behind zeroed credits).
+  void fault_reroute_pending();
+  // Credit repair: overwrites the free-slot count for one output VC.
+  void fault_set_credit(int out_port, int vc, int n);
+
 #if LAIN_RACECHECK
   // Tags this router with its owning shard from the PartitionPlan;
   // tick()/tick_idle() then abort if any other shard (or the exchange
@@ -169,6 +204,9 @@ class Router {
 
   void receive();
   void route_compute();
+  // Shared by route_compute and fault_reroute_pending: computes
+  // out_port and route_class for the head at this VC.
+  void compute_route(VcBuffer& vcb, int in_port, int in_vc);
   void vc_allocate();
   void switch_traverse();
   bool vc_admissible(int in_port, int in_vc, int out_port, int out_vc) const;
@@ -208,6 +246,7 @@ class Router {
   std::array<int, kNumPorts> chosen_vc_{};  // SA stage-1 winner per port
 
   PowerHook* power_hook_ = nullptr;
+  const FaultRoutingTable* fault_table_ = nullptr;
   FlitTraceRing* trace_ = nullptr;
   RouterEvents events_;
   CrossbarActivity activity_;

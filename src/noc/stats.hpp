@@ -80,6 +80,19 @@ struct SimStats {
   std::int64_t packets_ejected = 0;
   std::int64_t flits_injected = 0;
   std::int64_t flits_ejected = 0;
+  // Fault-injection degradation counters (zero without faults).  A
+  // purged packet counts its full flit length as lost wherever its
+  // flits sat; a retransmission re-counts the packet as injected, so
+  // the conservation law  injected == ejected + lost + in-flight
+  // holds at every instant and exactly at drain.
+  // packets_unreachable_dropped counts packets abandoned (or never
+  // injected) because no route to the destination exists under
+  // --allow-partition; those are included in packets_lost only when
+  // they had already been injected.
+  std::int64_t packets_lost = 0;
+  std::int64_t flits_lost = 0;
+  std::int64_t packets_retransmitted = 0;
+  std::int64_t packets_unreachable_dropped = 0;
   Cycle measured_cycles = 0;
   int num_nodes = 0;
   Accumulator packet_latency;   // creation -> tail ejection
@@ -102,6 +115,10 @@ struct SimStats {
     packets_ejected += o.packets_ejected;
     flits_injected += o.flits_injected;
     flits_ejected += o.flits_ejected;
+    packets_lost += o.packets_lost;
+    flits_lost += o.flits_lost;
+    packets_retransmitted += o.packets_retransmitted;
+    packets_unreachable_dropped += o.packets_unreachable_dropped;
     packet_latency.merge(o.packet_latency);
     network_latency.merge(o.network_latency);
     hops.merge(o.hops);

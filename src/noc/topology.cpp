@@ -15,17 +15,29 @@ Network::Network(const SimConfig& cfg) : cfg_(cfg) {
 }
 
 Network::Link* Network::make_link(int latency, NodeId source, NodeId owner,
-                                  LinkKind kind) {
+                                  LinkKind kind, Dir dir) {
   links_.push_back(std::make_unique<Link>(latency));
   link_sources_.push_back(source);
   link_owners_.push_back(owner);
   link_kinds_.push_back(kind);
+  link_dirs_.push_back(dir);
+  if (kind == LinkKind::kRouter) {
+    link_at_[static_cast<size_t>(source) * 4u +
+             static_cast<size_t>(port(dir))] =
+        static_cast<int>(links_.size()) - 1;
+  }
   return links_.back().get();
+}
+
+int Network::reverse_link(int i) const {
+  if (link_kind(i) != LinkKind::kRouter) return -1;
+  return link_at(link_owner(i), opposite(link_dir(i)));
 }
 
 void Network::wire_mesh() {
   const RouteContext ctx = cfg_.route_context();
   const bool torus = cfg_.topology == TopologyKind::kTorus;
+  link_at_.assign(static_cast<size_t>(cfg_.num_nodes()) * 4u, -1);
 
   // Local port: NIC <-> router, latency 1.  Both endpoints are the
   // same node, so these links never cross a shard boundary.
@@ -44,7 +56,8 @@ void Network::wire_mesh() {
 
   // Inter-router links: one directed link per (router, direction).
   auto connect_pair = [&](NodeId from, Dir out_dir, NodeId to) {
-    Link* l = make_link(cfg_.link_latency, from, to);
+    Link* l =
+        make_link(cfg_.link_latency, from, to, LinkKind::kRouter, out_dir);
     routers_[static_cast<size_t>(from)]->connect_output(out_dir, &l->flits,
                                                         &l->credits);
     routers_[static_cast<size_t>(to)]->connect_input(opposite(out_dir),

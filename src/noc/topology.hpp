@@ -87,6 +87,30 @@ class Network {
     return link_kinds_.at(static_cast<size_t>(i));
   }
 
+  // Output direction at link_source for inter-router links (kLocal for
+  // the NIC injection/ejection links).  The fault layer uses this to
+  // map a link onto the source router's output port.
+  Dir link_dir(int i) const { return link_dirs_.at(static_cast<size_t>(i)); }
+  // Inter-router link leaving `from` in direction `d`, or -1 when the
+  // mesh edge does not exist.  Unambiguous even on a radix-2 torus
+  // (parallel opposite-direction links differ in `d`).
+  int link_at(NodeId from, Dir d) const {
+    return link_at_.at(static_cast<size_t>(from) * 4u +
+                       static_cast<size_t>(port(d)));
+  }
+  // The opposite-direction channel of the same physical link (fault
+  // kills take out both), or -1 for NIC-local links.
+  int reverse_link(int i) const;
+
+  // Fault-surgery channel access (stop-the-world, between steps only;
+  // see Channel::fault_purge).
+  FlitChannel& link_flits(int i) {
+    return links_.at(static_cast<size_t>(i))->flits;
+  }
+  CreditChannel& link_credits(int i) {
+    return links_.at(static_cast<size_t>(i))->credits;
+  }
+
   // Flits resident anywhere in the fabric (buffers + channels).
   int flits_in_flight() const;
 
@@ -114,9 +138,11 @@ class Network {
   std::vector<NodeId> link_owners_;   // consuming endpoint per link
   std::vector<NodeId> link_sources_;  // producing endpoint per link
   std::vector<LinkKind> link_kinds_;  // what each endpoint is
+  std::vector<Dir> link_dirs_;        // output dir at source (kLocal: NIC)
+  std::vector<int> link_at_;          // node*4+dir -> inter-router link
 
   Link* make_link(int latency, NodeId source, NodeId owner,
-                  LinkKind kind = LinkKind::kRouter);
+                  LinkKind kind = LinkKind::kRouter, Dir dir = Dir::kLocal);
   void wire_mesh();
 };
 

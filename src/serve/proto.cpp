@@ -37,6 +37,10 @@ const char* job_state_name(JobState s) {
       return "canceled";
     case JobState::kAborted:
       return "aborted_saturated";
+    case JobState::kAbortedTimeout:
+      return "aborted_timeout";
+    case JobState::kAbortedDisconnected:
+      return "aborted_disconnected";
     case JobState::kFailed:
       return "failed";
   }

@@ -21,10 +21,15 @@
 //       the PR 7 MetricsSink records, verbatim (README
 //       "Observability") — bit-identical to a batch --metrics-out run
 //   {"type":"done","job":ID,"state":STATE}       terminal; STATE is
-//       done|canceled|aborted_saturated|failed ("error" key when failed)
+//       done|canceled|aborted_saturated|aborted_timeout|
+//       aborted_disconnected|failed ("error" key when failed)
 //   {"type":"status","job":ID,"state":STATE}
 //   {"type":"stats",...}         cache/budget/job counters
 //   {"type":"error","message":MSG[,"job":ID]}
+//       submit rejections carry no "job" key (the job was never
+//       accepted); a failed running job emits an error frame WITH its
+//       id before its done frame — clients must not count job-scoped
+//       errors as submit answers
 //   {"type":"bye"}               shutdown acknowledged
 //
 // Frame builders only — no I/O here.  Strings are escaped like the
@@ -40,13 +45,18 @@ namespace lain::serve {
 
 // Job lifecycle.  kAborted means the saturation guard fired;
 // kCanceled covers both explicit cancel frames and disconnect
-// auto-cancel.
+// auto-cancel; kAbortedTimeout is the per-job wall-clock deadline
+// (--job-timeout-s) canceling at a window boundary;
+// kAbortedDisconnected is the fault layer's fail-fast verdict on a
+// fabric the scheduled faults left (partially) unreachable.
 enum class JobState {
   kQueued,
   kRunning,
   kDone,
   kCanceled,
   kAborted,
+  kAbortedTimeout,
+  kAbortedDisconnected,
   kFailed,
 };
 const char* job_state_name(JobState s);

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
@@ -10,6 +11,14 @@
 namespace lain::serve {
 
 namespace {
+
+// Host monotonic clock for the job-timeout monitor (serve robustness;
+// strictly host-side — never fed into a simulation).
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool job_has_flag(const core::ScenarioJobSpec& spec,
                   const std::string& flag) {
@@ -39,6 +48,9 @@ class JobFrameSink final : public telemetry::MetricsSink {
   void on_window(const telemetry::WindowRecord& w) override {
     out_->write_line(telemetry::to_json(w));
   }
+  void on_fault(const telemetry::FaultRecord& f) override {
+    out_->write_line(telemetry::to_json(f));
+  }
   void on_flit(const telemetry::FlitRecord& f) override {
     out_->write_line(telemetry::to_json(f));
   }
@@ -46,6 +58,9 @@ class JobFrameSink final : public telemetry::MetricsSink {
     if (s.canceled) canceled_.store(true, std::memory_order_relaxed);
     if (s.aborted_saturated) {
       aborted_.store(true, std::memory_order_relaxed);
+    }
+    if (s.aborted_disconnected) {
+      disconnected_.store(true, std::memory_order_relaxed);
     }
     out_->write_line(telemetry::to_json(s));
   }
@@ -56,12 +71,16 @@ class JobFrameSink final : public telemetry::MetricsSink {
   bool saw_aborted() const {
     return aborted_.load(std::memory_order_relaxed);
   }
+  bool saw_disconnected() const {
+    return disconnected_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string job_;
   FrameWriterPtr out_;
   std::atomic<bool> canceled_{false};
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> disconnected_{false};
 };
 
 }  // namespace
@@ -150,6 +169,37 @@ void SweepService::start() {
   workers_.reserve(static_cast<std::size_t>(lease_.count()));
   for (int i = 0; i < lease_.count(); ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (opt_.job_timeout_s > 0.0) {
+    timeout_monitor_ = std::thread([this] { timeout_loop(); });
+  }
+}
+
+void SweepService::timeout_loop() {
+  const auto deadline_ns =
+      static_cast<std::int64_t>(opt_.job_timeout_s * 1e9);
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  while (!monitor_stop_) {
+    // 50 ms scan period: far below any sane job timeout, cheap enough
+    // to poll the registry.
+    monitor_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                         [this] { return monitor_stop_; });
+    if (monitor_stop_) return;
+    const std::int64_t now = steady_now_ns();
+    for (const JobPtr& job : queue_.all()) {
+      if (job->state.load(std::memory_order_relaxed) != JobState::kRunning) {
+        continue;
+      }
+      const std::int64_t started =
+          job->started_ns.load(std::memory_order_relaxed);
+      if (started < 0 || now - started < deadline_ns) continue;
+      if (!job->timed_out.exchange(true, std::memory_order_relaxed)) {
+        // The cooperative cancel: the job stops at its next window
+        // boundary; run_job reads timed_out to pick the terminal
+        // state.
+        job->cancel.store(true, std::memory_order_relaxed);
+      }
+    }
   }
 }
 
@@ -289,6 +339,9 @@ void SweepService::handle_status(const std::string& id,
 
 void SweepService::worker_loop() {
   while (JobPtr job = queue_.pop()) {
+    // Stamp before the CAS: once the state reads kRunning, the
+    // timeout monitor must see a valid start time.
+    job->started_ns.store(steady_now_ns(), std::memory_order_relaxed);
     JobState expected = JobState::kQueued;
     if (!job->state.compare_exchange_strong(expected, JobState::kRunning)) {
       continue;  // canceled while queued; done frame already sent
@@ -316,15 +369,25 @@ void SweepService::run_job(const JobPtr& job) {
     // shared cache.
     const core::SweepEngine engine = ctx_.make_engine(spec.threads);
     (void)scenario->run(ctx_, spec, engine);
-    if (sink.saw_canceled() ||
-        job->cancel.load(std::memory_order_relaxed)) {
+    if (job->timed_out.load(std::memory_order_relaxed)) {
+      terminal = JobState::kAbortedTimeout;
+    } else if (sink.saw_canceled() ||
+               job->cancel.load(std::memory_order_relaxed)) {
       terminal = JobState::kCanceled;
+    } else if (sink.saw_disconnected()) {
+      terminal = JobState::kAbortedDisconnected;
     } else if (sink.saw_aborted()) {
       terminal = JobState::kAborted;
     }
   } catch (const std::exception& e) {
     terminal = JobState::kFailed;
     error = e.what();
+  } catch (...) {
+    // Containment: whatever a job throws poisons only this job.  The
+    // worker survives, the lane goes back to the pool, and the client
+    // learns the job died instead of hanging on a vanished stream.
+    terminal = JobState::kFailed;
+    error = "job threw a non-standard exception";
   }
   // Counters go terminal BEFORE the done frame is written: a client
   // that sequences "last done frame -> status request" must read
@@ -332,6 +395,11 @@ void SweepService::run_job(const JobPtr& job) {
   job->state.store(terminal);
   jobs_running_.fetch_sub(1, std::memory_order_relaxed);
   jobs_finished_.fetch_add(1, std::memory_order_relaxed);
+  if (terminal == JobState::kFailed) {
+    // Job-scoped error frame (carries the job id — clients must not
+    // read it as a submit rejection) ahead of the terminal done frame.
+    job->out->write_line(error_frame(error, job->id));
+  }
   job->out->write_line(done_frame(job->id, terminal, error));
 }
 
@@ -366,6 +434,12 @@ void SweepService::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (timeout_monitor_.joinable()) timeout_monitor_.join();
   server_.stop();
   lease_.release();
 }

@@ -58,6 +58,13 @@ struct Job {
   FrameWriterPtr out;            // the submitting connection's writer
   std::atomic<JobState> state{JobState::kQueued};
   std::atomic<bool> cancel{false};
+  // Per-job wall-clock deadline (--job-timeout-s).  The worker stamps
+  // started_ns before claiming the job; the timeout monitor compares
+  // it against the host clock and, on expiry, sets timed_out + cancel
+  // — the job then stops at its next window boundary and reports
+  // aborted_timeout instead of canceled.
+  std::atomic<std::int64_t> started_ns{-1};
+  std::atomic<bool> timed_out{false};
 };
 
 using JobPtr = std::shared_ptr<Job>;
@@ -94,6 +101,11 @@ struct ServeOptions {
   // Default saturation guard applied to jobs that stream windows but
   // do not set abort-on-saturation themselves (0 = none).
   double abort_latency_mult = 0.0;
+  // Per-job wall-clock timeout in seconds (0 = none).  Timed-out jobs
+  // cancel cooperatively at their next window boundary (a job that
+  // streams no windows cannot be interrupted mid-run; it reports the
+  // timeout when it finishes).
+  double job_timeout_s = 0.0;
 };
 
 class SweepService {
@@ -129,6 +141,7 @@ class SweepService {
   void handle_status(const std::string& id, const FrameWriterPtr& out);
   void worker_loop();
   void run_job(const JobPtr& job);
+  void timeout_loop();
   void request_shutdown();
 
   core::LainContext& ctx_;
@@ -138,6 +151,10 @@ class SweepService {
   JobQueue queue_;
   core::ThreadBudget::Lease lease_;
   std::vector<std::thread> workers_;
+  std::thread timeout_monitor_;
+  std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
   std::atomic<std::int64_t> next_job_{0};
   std::atomic<std::int64_t> jobs_accepted_{0};
   std::atomic<std::int64_t> jobs_running_{0};

@@ -4,9 +4,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "noc/rng.hpp"
 
 namespace lain::serve {
 
@@ -22,7 +27,9 @@ int connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
+    const int saved = errno;  // close() may clobber the connect errno
     ::close(fd);
+    errno = saved;
     return -1;
   }
   return fd;
@@ -181,8 +188,42 @@ void SocketServer::stop() {
 
 Client::Client(const std::string& path) : fd_(connect_unix(path)) {
   if (fd_ < 0) {
-    throw std::runtime_error("cannot connect to " + path + ": " +
+    throw std::runtime_error("cannot connect to socket " + path + ": " +
                              std::strerror(errno));
+  }
+}
+
+Client::Client(const std::string& path, int retries, int backoff_ms) {
+  if (retries < 0) retries = 0;
+  if (backoff_ms < 1) backoff_ms = 1;
+  // Jitter stream: seeded from the pid so simultaneous clients
+  // (retrying against the same late daemon) desynchronize instead of
+  // reconnecting in lockstep.  Deterministic per process — the lint's
+  // no-wall-clock rule holds.
+  noc::Rng jitter(noc::mix_seed(0x50c4e7ULL,
+                                static_cast<std::uint64_t>(::getpid())));
+  for (int attempt = 0;; ++attempt) {
+    fd_ = connect_unix(path);
+    if (fd_ >= 0) return;
+    const int err = errno;
+    const bool retryable = err == ECONNREFUSED || err == ENOENT;
+    if (attempt >= retries || !retryable) {
+      throw std::runtime_error(
+          "cannot connect to socket " + path + ": " + std::strerror(err) +
+          (attempt > 0
+               ? " (after " + std::to_string(attempt + 1) + " attempts)"
+               : ""));
+    }
+    // Bounded exponential backoff (cap the shift at 6 -> 64x base)
+    // plus up to +50% jitter.
+    const std::int64_t base =
+        static_cast<std::int64_t>(backoff_ms)
+        << std::min(attempt, 6);
+    const std::int64_t delay =
+        base + static_cast<std::int64_t>(
+                   jitter.next_below(static_cast<std::uint64_t>(base) / 2 +
+                                     1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
 }
 

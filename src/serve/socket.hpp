@@ -98,6 +98,13 @@ class Client {
  public:
   // Connects; throws std::runtime_error when the daemon is not there.
   explicit Client(const std::string& path);
+  // Connects with up to `retries` re-attempts on the failures a
+  // daemon that is still starting up produces (ENOENT: socket file
+  // not yet bound; ECONNREFUSED: bound but not yet listening, or a
+  // stale file), sleeping a jittered exponential backoff starting at
+  // `backoff_ms` between attempts.  Other errnos, and exhaustion,
+  // throw std::runtime_error naming the socket path.
+  Client(const std::string& path, int retries, int backoff_ms);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;

@@ -114,6 +114,9 @@ DETERMINISM_EXEMPT = {
     "src/core/telemetry.cpp":
         "host-profiling monotonic clock (telemetry; never fed back "
         "into the simulation)",
+    "src/serve/service.cpp":
+        "job wall-clock timeout monitor (serve robustness; host-side "
+        "only, never fed into a simulation)",
 }
 
 ALLOW_RE = re.compile(r"LAIN_LINT_ALLOW\(([a-z-]+)\)")
